@@ -1,0 +1,222 @@
+// Command r2cattack is the security harness: it regenerates the paper's
+// security artifacts — Table 3 (defense comparison against ROP, JIT-ROP,
+// PIROP and AOCR), the BTRA guessing probabilities of Section 7.2.1, the
+// crash side-channel demonstration of Section 7.3, and the design-decision
+// ablations of Sections 4.1 and 5.2 (dynamic BTRA sets, callee-chosen BTRA
+// sets, the naive in-data BTDP array).
+//
+// Usage:
+//
+//	r2cattack [-trials N] <table3|prob|sidechannel|ablations|aocr|all>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"r2c/internal/attack"
+	"r2c/internal/bench"
+	"r2c/internal/defense"
+	"r2c/internal/mvee"
+	"r2c/internal/vm"
+)
+
+func main() {
+	trials := flag.Int("trials", 10, "Monte-Carlo trials per defense/attack cell")
+	overheads := flag.Bool("overheads", false, "also measure Table 3 overhead column (slow)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: r2cattack [-trials N] <table3|prob|sidechannel|sidechannel-hardened|ablations|aocr|mvee|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := bench.Options{Scale: 4, Runs: 1, Out: os.Stdout}
+
+	run := func(name string) error {
+		switch name {
+		case "table3":
+			_, err := bench.Table3(opt, *trials, *overheads)
+			return err
+		case "prob":
+			_, err := bench.Prob(opt, 6**trials)
+			return err
+		case "sidechannel":
+			_, err := bench.SideChannel(opt)
+			return err
+		case "ablations":
+			return ablations()
+		case "aocr":
+			return aocrDemo()
+		case "mvee":
+			return mveeDemo()
+		case "sidechannel-hardened":
+			return sideChannelHardened()
+		case "bruteforce":
+			return bruteforce()
+		}
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+
+	names := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		names = []string{"table3", "prob", "sidechannel", "sidechannel-hardened", "bruteforce", "ablations", "aocr", "mvee"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "r2cattack %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// mveeDemo runs the Section 7.3 MVEE extension: two R2C variants in
+// lockstep; a replicated memory corruption diverges and is detected.
+func mveeDemo() error {
+	fmt.Println("MVEE extension (Section 7.3): two diversified variants in lockstep")
+	e, err := mvee.New(attack.Victim(), defense.R2CFull(), 2, 42, vm.EPYCRome())
+	if err != nil {
+		return err
+	}
+	v, err := e.Run(0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  benign run: diverged=%v trapped=%v (variants agree bit-for-bit)\n", v.Diverged, v.Trapped)
+
+	e2, err := mvee.New(attack.Victim(), defense.R2CFull(), 2, 42, vm.EPYCRome())
+	if err != nil {
+		return err
+	}
+	img := e2.Variants[0].Proc.Img
+	e2.CorruptAll(img.DataSyms[attack.SymSecretKey].Addr, attack.MagicArg)
+	e2.CorruptAll(img.DataSyms[attack.SymAdminPtr].Addr, img.Funcs[attack.SymSecretFunc].Start)
+	v2, err := e2.Run(0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  corrupted run: detected=%v (%s)\n", v2.Detected(), v2.Reason)
+	return nil
+}
+
+// sideChannelHardened reruns the Section 7.3 side channel against the
+// proposed BTRA consistency checks.
+func sideChannelHardened() error {
+	cfg := defense.R2CFull()
+	cfg.Name = "r2c-btra-checks"
+	cfg.CheckBTRAsOnReturn = true
+	detections := 0
+	trials := 30
+	for seed := uint64(1); seed <= uint64(trials); seed++ {
+		s, err := attack.NewScenario(cfg, seed)
+		if err != nil {
+			return err
+		}
+		cands, err := s.RACandidates()
+		if err != nil {
+			return err
+		}
+		// One zeroing probe per campaign, as the side channel does; the
+		// topmost candidate is always a pre-offset BTRA, the kind the
+		// post-return check samples (one random slot per call site, so
+		// each probe is caught with probability ≈ 1/pre).
+		if err := s.Write(cands[len(cands)-1].Addr, 0); err != nil {
+			return err
+		}
+		if o := s.Resume(); o == attack.Detected {
+			detections++
+		}
+	}
+	fmt.Printf("BTRA consistency checks (Section 7.3 hardening): %d/%d zeroing probes detected (expected ≈ trials/pre)\n",
+		detections, trials)
+	return nil
+}
+
+// bruteforce runs the Section 4.1 Blind ROP and Section 7.2.3 heap feng
+// shui experiments.
+func bruteforce() error {
+	fmt.Println("Blind ROP stop-gadget scan against a restarting worker (Section 4.1):")
+	for _, cfg := range []defense.Config{defense.Off(), defense.R2CFull()} {
+		r, err := attack.BlindROP(cfg, 31, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  vs %-10s: %d probes, gadget found=%v, booby-trap alarms=%d\n",
+			cfg.Name, r.Probes, r.FoundGadget, r.Detections)
+	}
+	fmt.Println("heap feng shui pairing filter (Section 7.2.3):")
+	r, err := attack.FengShui(defense.R2CFull(), 5, 4096)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  vs r2c-full  : kept %d paired pointers, %d safe, %d still BTDPs\n",
+		r.PairsFound, r.SafePicks, r.BTDPPicks)
+	return nil
+}
+
+// aocrDemo narrates one full AOCR attack against the unprotected baseline
+// and against full R2C.
+func aocrDemo() error {
+	fmt.Println("AOCR whole-function-reuse demo (Section 2.3 attack chain)")
+	for _, cfg := range []defense.Config{defense.Off(), defense.R2CFull()} {
+		tally := attack.Tally{}
+		for seed := uint64(1); seed <= 8; seed++ {
+			s, err := attack.NewScenario(cfg, seed)
+			if err != nil {
+				return err
+			}
+			tally.Add(s.AOCR())
+		}
+		fmt.Printf("  vs %-10s: %v\n", cfg.Name, &tally)
+	}
+	return nil
+}
+
+// ablations demonstrates the design-decision attacks.
+func ablations() error {
+	fmt.Println("Design-decision ablations (Sections 4.1, 5.2)")
+
+	// Property B: dynamic BTRA sets fall to two observations.
+	bad := defense.R2CFull()
+	bad.Name = "r2c-dynamic-btras"
+	bad.InsecureDynamicBTRAs = true
+	for _, cfg := range []defense.Config{defense.R2CFull(), bad} {
+		rem, isRA, err := attack.DynamicBTRAAttack(cfg, 11)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  property B  vs %-22s: %2d candidates after intersection, RA identified: %v\n",
+			cfg.Name, rem, isRA)
+	}
+
+	// Property C: per-callee BTRA sets fall to a two-call-site diff.
+	bad2 := defense.R2CFull()
+	bad2.Name = "r2c-callee-btras"
+	bad2.InsecureCalleeBTRAs = true
+	for _, cfg := range []defense.Config{defense.R2CFull(), bad2} {
+		uniq, allRA, err := attack.CalleeBTRAAttack(cfg, 13)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  property C  vs %-22s: %2d values differ between call sites, all real RAs: %v\n",
+			cfg.Name, uniq, allRA)
+	}
+
+	// Figure 5: the naive in-data BTDP array lets the attacker filter
+	// BTDPs out; the hardened layout does not.
+	naive := defense.R2CFull()
+	naive.Name = "r2c-naive-btdp-array"
+	naive.BTDPNaiveDataArray = true
+	for _, cfg := range []defense.Config{defense.R2CFull(), naive} {
+		kept, keptBTDPs, err := attack.NaiveBTDPArrayAttack(cfg, 17)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  figure 5    vs %-22s: attacker keeps %2d heap pointers, %2d of them are still BTDPs\n",
+			cfg.Name, kept, keptBTDPs)
+	}
+	return nil
+}

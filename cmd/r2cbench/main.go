@@ -1,0 +1,79 @@
+// Command r2cbench is the performance harness: it regenerates the paper's
+// performance artifacts — Table 1 (component overheads), Table 2 (call
+// frequencies), Figure 6 (full R2C on four machines), the webserver
+// throughput experiment (Section 6.2.4), the memory-overhead experiment
+// (Section 6.2.5), the offset-invariant addressing measurement (Section
+// 6.2.1), the AVX-512 variant (Section 7.1), and the scalability check
+// (Section 6.3).
+//
+// Usage:
+//
+//	r2cbench [-scale N] [-runs N] <table1|table2|figure6|webserver|memory|oia|avx512|scale|all>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"r2c/internal/bench"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload scale divisor (1 = full calibrated size)")
+	runs := flag.Int("runs", 3, "differently-seeded builds per measurement (median)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure6 webserver memory oia avx512 scale ablations all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := bench.Options{Scale: *scale, Runs: *runs, Out: os.Stdout}
+
+	run := func(name string) error {
+		start := time.Now()
+		var err error
+		switch name {
+		case "table1":
+			_, err = bench.Table1(opt)
+		case "table2":
+			_, err = bench.Table2(opt)
+		case "figure6":
+			_, err = bench.Figure6(opt)
+		case "webserver":
+			_, err = bench.Webserver(opt)
+		case "memory":
+			_, err = bench.Memory(opt)
+		case "oia":
+			_, err = bench.OIA(opt)
+		case "avx512":
+			_, err = bench.AVX512(opt)
+		case "scale":
+			_, err = bench.Scale(opt, 2000)
+		case "ablations":
+			_, err = bench.Ablations(opt)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err == nil {
+			fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		return err
+	}
+
+	names := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		names = []string{"table1", "table2", "figure6", "webserver", "memory", "oia", "avx512", "scale", "ablations"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "r2cbench %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module r2c
+
+go 1.22

@@ -1,0 +1,197 @@
+package attack
+
+// This file implements the address-oblivious code reuse attack of Section
+// 2.3 against the victim program, following the three demonstrated steps:
+// (A) profile pointer locations on the stack, (B) leak heap data to reach
+// the data section, and (C) use the data section layout to corrupt function
+// default parameters and mount whole-function reuse. The attack never needs
+// concrete gadget addresses — that is its point — so code-only
+// diversification does not stop it; R2C's data diversification (BTDPs,
+// global shuffling) does (Section 7.2).
+
+// Region gives the attacker the mapped extent of the region containing
+// addr. Crash-resistant probing can obtain this on real systems; R2C does
+// not claim to hide region extents, only their contents' layout.
+func (s *Scenario) Region(addr uint64) (lo, hi uint64, ok bool) {
+	for _, r := range s.Proc.Space.Regions() {
+		if addr >= r.Addr && addr < r.Addr+r.Size {
+			return r.Addr, r.Addr + r.Size, true
+		}
+	}
+	return 0, 0, false
+}
+
+// AOCR runs the full chain and returns the outcome. The booby traps give
+// the defender a detection signal at two points: dereferencing a BTDP when
+// following stage B's heap pointer, and (for the final transfer) landing in
+// a trap.
+func (s *Scenario) AOCR() Outcome {
+	// --- Stage A: profile the stack (Figure 2a, attack A). ---
+	leaks, err := s.LeakStack(2 * 4096)
+	if err != nil {
+		return Crashed
+	}
+	cl := s.Classify(leaks)
+	if cl.Heap == nil || cl.Text == nil {
+		return Failed
+	}
+
+	// --- Stage B: reach the heap (attack B). Stack-slot randomization
+	// means no specific heap pointer can be targeted, but the cluster as a
+	// whole is identifiable; the attacker walks its members in random
+	// order — every dereference being exactly the choice BTDPs poison
+	// (Section 4.2). ---
+	heapPtrs := dedup(cl.Heap.Values)
+	order := s.Rnd.Perm(len(heapPtrs))
+	var dataPtr uint64
+	found := false
+	for _, idx := range order {
+		ptr := heapPtrs[idx]
+		words, o := s.leakObject(ptr)
+		if o != Success {
+			return o // a BTDP detonated (Detected) or the read crashed
+		}
+		if dataPtr, found = s.findDataPointer(words, cl); found {
+			break
+		}
+		// Follow one heap→heap link before moving on (object graph walk).
+		if next, okNext := s.findHeapPointer(words, cl, ptr); okNext {
+			words, o = s.leakObject(next)
+			if o != Success {
+				return o
+			}
+			if dataPtr, found = s.findDataPointer(words, cl); found {
+				break
+			}
+		}
+	}
+	if !found {
+		return Failed
+	}
+
+	// --- Stage C: the data section (attack C). ---
+	lo, hi, okR := s.Region(dataPtr)
+	if !okR {
+		return Failed
+	}
+	secret, okS := s.findHandlerTableEntry(lo, hi, cl)
+	if !okS {
+		return Failed
+	}
+
+	// Locate admin_ptr and secret_key relative to the banner anchor using
+	// the monoculture copy's offsets. Global shuffling and padding
+	// invalidate exactly this step (Section 7.2.2).
+	refBanner, ok1 := s.RefImg.DataSyms[SymBanner]
+	refAdmin, ok2 := s.RefImg.DataSyms[SymAdminPtr]
+	refKey, ok3 := s.RefImg.DataSyms[SymSecretKey]
+	if !ok1 || !ok2 || !ok3 {
+		return Failed
+	}
+	adminAddr := dataPtr + (refAdmin.Addr - refBanner.Addr)
+	keyAddr := dataPtr + (refKey.Addr - refBanner.Addr)
+	if adminAddr < lo || adminAddr >= hi || keyAddr < lo || keyAddr >= hi {
+		return Failed
+	}
+
+	// Re-randomizing defenses invalidate the harvested code pointer before
+	// it is used — unless it is a translation-table locator (CPH-style),
+	// which stays valid across re-randomization (Section 8.1: CodeArmor's
+	// locators are "susceptible to AOCR" for this reason).
+	if s.Stale(secret) && !s.Cfg.CPH {
+		return Crashed
+	}
+
+	if err := s.Write(adminAddr, secret.Value); err != nil {
+		return Crashed
+	}
+	if err := s.Write(keyAddr, MagicArg); err != nil {
+		return Crashed
+	}
+	return s.Resume()
+}
+
+// leakObject reads an 8-word window at ptr — the heap disclosure.
+func (s *Scenario) leakObject(ptr uint64) ([]Leaked, Outcome) {
+	base := ptr &^ 7
+	var words []Leaked
+	for off := uint64(0); off < 64; off += 8 {
+		w, err := s.Read(base + off)
+		if err != nil {
+			if s.Detections > 0 {
+				return nil, Detected
+			}
+			return nil, Crashed
+		}
+		words = append(words, w)
+	}
+	return words, Success
+}
+
+// findDataPointer looks for a value between the text and heap clusters —
+// a static-data pointer (the heap→data stepping stone).
+func (s *Scenario) findDataPointer(words []Leaked, cl *Clusters) (uint64, bool) {
+	for _, w := range words {
+		v := w.Value
+		if v < minPointer {
+			continue
+		}
+		if v > cl.Text.Hi+(4<<20) && v < cl.Heap.Lo-(4<<20) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// findHeapPointer looks for a heap→heap link distinct from the source.
+func (s *Scenario) findHeapPointer(words []Leaked, cl *Clusters, src uint64) (uint64, bool) {
+	for _, w := range words {
+		if cl.Heap.Contains(w.Value) && w.Value != src {
+			return w.Value, true
+		}
+	}
+	return 0, false
+}
+
+// findHandlerTableEntry scans the data region for the handler table: a run
+// of exactly two adjacent code-range words (the structure layout AOCR
+// assumes). Entry 1 is the whole-function-reuse target. Longer runs are
+// skipped — under the AVX2 setup the data section is full of BTRA arrays,
+// which are padded to at least four words and would otherwise drown the
+// scan (an incidental camouflage benefit of R2C's arrays).
+func (s *Scenario) findHandlerTableEntry(lo, hi uint64, cl *Clusters) (Leaked, bool) {
+	var run []Leaked
+	flushRun := func() (Leaked, bool) {
+		if len(run) == 2 {
+			return run[1], true
+		}
+		return Leaked{}, false
+	}
+	for addr := lo; addr+8 <= hi; addr += 8 {
+		w, err := s.Read(addr)
+		if err != nil {
+			return Leaked{}, false
+		}
+		if cl.textRange(w.Value) {
+			run = append(run, w)
+			continue
+		}
+		if e, ok := flushRun(); ok {
+			return e, true
+		}
+		run = run[:0]
+	}
+	return flushRun()
+}
+
+func dedup(vals []uint64) []uint64 {
+	seen := make(map[uint64]bool, len(vals))
+	var out []uint64
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

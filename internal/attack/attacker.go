@@ -1,0 +1,228 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"r2c/internal/defense"
+	"r2c/internal/image"
+	"r2c/internal/isa"
+	"r2c/internal/rng"
+	"r2c/internal/rt"
+	"r2c/internal/sim"
+	"r2c/internal/stats"
+	"r2c/internal/tir"
+	"r2c/internal/vm"
+)
+
+// pauseBudget is the instruction count after which the victim thread is
+// "blocked" — the Malicious Thread Blocking analogue (Section 3): the
+// attacker can then inspect a deterministic, quiescent stack.
+const pauseBudget = 400_000
+
+// clusterGap is the value-proximity threshold of the statistical analysis:
+// two pointers within this distance belong to the same memory region
+// cluster. minPointer filters non-pointer words.
+const (
+	clusterGap = 4 << 20 // 4 MiB — mappings are ≥16 MiB apart
+	minPointer = 1 << 32
+)
+
+// Scenario is one attack setting: a victim process paused mid-request, plus
+// the attacker's own reference build of the same source (the monoculture
+// copy). When the defense diversifies, the reference copy has a different
+// seed; an undiversified baseline gives the attacker a layout-identical
+// copy (modulo ASLR), which is exactly the monoculture assumption
+// randomization-based defenses break.
+type Scenario struct {
+	Cfg    defense.Config
+	Proc   *rt.Process
+	Mach   *vm.Machine
+	RefImg *image.Image // attacker's copy
+	Rnd    *rng.RNG
+
+	// Detections counts booby traps fired by attacker probes before the
+	// victim even resumes (deref of a BTDP, etc.).
+	Detections int
+	// staleness implements re-randomizing defenses (TASR, CodeArmor):
+	// each primitive use advances time; leaked addresses expire after
+	// cfg.ReRandomizePeriod steps.
+	now int
+	// baseSeed is the victim build seed (restart scenarios reuse it when
+	// the server restarts without re-randomizing, Section 4).
+	baseSeed uint64
+}
+
+// NewScenario builds and pauses a victim under cfg, MTB-style: the victim
+// thread blocks inside the request handler (helper). victimSeed diversifies
+// the victim build; the attacker's reference copy uses an unrelated seed,
+// which only matters when the configuration actually randomizes layout.
+func NewScenario(cfg defense.Config, victimSeed uint64) (*Scenario, error) {
+	return newScenarioOpts(cfg, victimSeed, false, 0, "")
+}
+
+func buildRef(m *tir.Module, cfg defense.Config, seed uint64) (*image.Image, error) {
+	p, err := sim.Build(m, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return p.Img, nil
+}
+
+// Leaked is a value the attacker read, with the time it was read (for
+// staleness under re-randomizing defenses).
+type Leaked struct {
+	Addr, Value uint64
+	at          int
+}
+
+// tick advances attack time (each primitive counts as one step; under
+// TASR-style defenses every step may cross an I/O syscall boundary and
+// trigger re-randomization).
+func (s *Scenario) tick() { s.now++ }
+
+// Stale reports whether a leaked value has been invalidated by
+// re-randomization since it was read.
+func (s *Scenario) Stale(l Leaked) bool {
+	return s.Cfg.ReRandomizePeriod > 0 && s.now-l.at >= s.Cfg.ReRandomizePeriod
+}
+
+// Read is the attacker's disclosure primitive: a permission-checked read.
+// Dereferencing a BTDP guard page faults and is *detected* (Section 4.2).
+func (s *Scenario) Read(addr uint64) (Leaked, error) {
+	s.tick()
+	v, err := s.Proc.Space.Read64(addr)
+	if err != nil {
+		if s.Proc.IsGuardAddr(addr) {
+			s.Detections++
+			return Leaked{}, fmt.Errorf("attack: read %#x detonated a BTDP: %w", addr, err)
+		}
+		return Leaked{}, err
+	}
+	return Leaked{Addr: addr, Value: v, at: s.now}, nil
+}
+
+// Write is the attacker's corruption primitive.
+func (s *Scenario) Write(addr, v uint64) error {
+	s.tick()
+	return s.Proc.Space.Write64(addr, v)
+}
+
+// RSP returns the paused victim's stack pointer — MTB gives the attacker a
+// thread whose stack location it knows (Section 2.3).
+func (s *Scenario) RSP() uint64 { return s.Mach.CPU.R[isa.RSP] }
+
+// LeakStack reads n bytes of the paused stack upward from RSP — "a
+// statistical analysis of two pages of stack values suffices" (Section
+// 4.2). Stack pages are readable, so this never faults.
+func (s *Scenario) LeakStack(nBytes uint64) ([]Leaked, error) {
+	s.tick()
+	base := s.RSP()
+	var out []Leaked
+	for off := uint64(0); off < nBytes; off += 8 {
+		addr := base + off
+		if addr+8 > s.Proc.Img.StackHi {
+			break
+		}
+		v, err := s.Proc.Space.Read64(addr)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Leaked{Addr: addr, Value: v, at: s.now})
+	}
+	return out, nil
+}
+
+// Resume lets the victim run to completion and classifies what happened.
+func (s *Scenario) Resume() Outcome {
+	res, err := s.Mach.Run(sim.DefaultBudget)
+	switch {
+	case s.Detections > 0 || res.Trap != nil:
+		return Detected
+	case err != nil || res.Fault != nil || !res.Halted:
+		return Crashed
+	case HasWin(res.Output):
+		return Success
+	default:
+		return Failed
+	}
+}
+
+// ResumeOutcomeOnly is Resume without counting earlier probe detections
+// (for experiments that score only the final control-flow transfer).
+func (s *Scenario) ResumeOutcomeOnly() Outcome {
+	res, err := s.Mach.Run(sim.DefaultBudget)
+	switch {
+	case res.Trap != nil:
+		return Detected
+	case err != nil || res.Fault != nil || !res.Halted:
+		return Crashed
+	case HasWin(res.Output):
+		return Success
+	default:
+		return Failed
+	}
+}
+
+// Clusters runs the AOCR statistical analysis over leaked words and
+// classifies the populous clusters into regions. The attacker reasons
+// relatively (it knows its own read addresses, so the cluster containing
+// them is the stack; the remaining clusters order as text/data < heap <
+// stack in the conventional x86_64 layout it also sees in its own copy).
+type Clusters struct {
+	All   []*stats.Cluster
+	Text  *stats.Cluster // code addresses (text region)
+	Data  *stats.Cluster // static data region
+	Heap  *stats.Cluster
+	Stack *stats.Cluster
+}
+
+// Classify clusters the leaked values by proximity and assigns regions the
+// way the AOCR analysis does: the attacker knows where its own probe reads
+// landed (the stack), and knows the conventional region ordering
+// text < data < heap < stack from its reference copy.
+func (s *Scenario) Classify(leaks []Leaked) *Clusters {
+	vals := make([]uint64, 0, len(leaks))
+	for _, l := range leaks {
+		vals = append(vals, l.Value)
+	}
+	// Filter non-canonical values first: x86_64 user pointers have the
+	// top 17 bits clear, so anything above 2^47 cannot be a pointer.
+	canon := vals[:0]
+	for _, v := range vals {
+		if v < 1<<47 {
+			canon = append(canon, v)
+		}
+	}
+	cs := stats.ClusterValues(canon, clusterGap, minPointer)
+	out := &Clusters{All: cs}
+	if len(cs) == 0 {
+		return out
+	}
+	stackProbe := s.RSP()
+	var below []*stats.Cluster
+	for _, c := range cs {
+		if c.Lo <= stackProbe+(1<<21) && c.Hi >= stackProbe-(1<<21) {
+			out.Stack = c
+			continue
+		}
+		below = append(below, c)
+	}
+	sort.Slice(below, func(i, j int) bool { return below[i].Lo < below[j].Lo })
+	switch len(below) {
+	case 0:
+	case 1:
+		out.Text = below[0]
+	case 2:
+		// Either text+heap (stack leak: no data pointers on the stack) or
+		// data+heap: the attacker disambiguates by the magnitude of the
+		// gap to the probe values it already attributed to text.
+		out.Text = below[0]
+		out.Heap = below[1]
+	default:
+		out.Text = below[0]
+		out.Data = below[1]
+		out.Heap = below[len(below)-1]
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+// Package attack implements the attacker's side of the evaluation: the
+// memory-disclosure and corruption primitives of the threat model (Section
+// 3), the AOCR inference pipeline (Section 2.3), and the code-reuse attacks
+// of Table 3 (ROP, JIT-ROP, indirect JIT-ROP, PIROP, Blind ROP, AOCR
+// whole-function reuse), plus the ablation attacks that justify R2C's design
+// decisions (dynamic BTRA sets, callee-chosen BTRA sets, the naive BTDP
+// array).
+//
+// The attacker operates strictly on what the threat model grants: the
+// victim's memory through permission-checked reads/writes (a disclosure and
+// a corruption primitive), crash/no-crash observations, and an attacker-own
+// copy of the binary built from the same source (the software monoculture) —
+// but with a different diversification seed when the defense randomizes.
+// Toolchain ground truth (which stack word really is the return address,
+// which pointer is a BTDP) is used only by the experiment oracle to score
+// outcomes, never by attack logic.
+package attack
+
+import (
+	"fmt"
+
+	"r2c/internal/tir"
+	"r2c/internal/workload"
+)
+
+// Sentinel output values of the victim program.
+const (
+	// WinSentinel is emitted by secret_disclose when called with the magic
+	// argument — the attacker's goal.
+	WinSentinel = 0x57494e21 // "WIN!"
+	// LoseSentinel is emitted by secret_disclose with a wrong argument.
+	LoseSentinel = 0xdead
+	// MagicArg is the argument value that unlocks secret_disclose.
+	MagicArg = 0x1337
+	// NormalResult marks a benign dispatch through the admin pointer.
+	NormalResult = 0x0b11
+)
+
+// Victim symbol names the attack drivers reference (the attacker knows them
+// from its binary copy; symbols are not secret, addresses are).
+const (
+	SymSecretKey    = "secret_key"
+	SymAdminPtr     = "admin_ptr"
+	SymHandlerTable = "handler_table"
+	SymBanner       = "banner"
+	SymSecretFunc   = "secret_disclose"
+	SymLogHandler   = "log_handler"
+	SymHelper       = "helper"
+	SymValidate     = "validate"
+	SymProcess      = "process"
+	SymProcess2     = "process2"
+	SymServe        = "serve"
+)
+
+// VictimRequests is the number of requests the victim serves before the
+// final dispatch; pausing anywhere in this window lands inside the serving
+// loop with frames on the stack.
+const VictimRequests = 4000
+
+// Victim builds the attack target: a server-like program with the assets
+// the AOCR paper assumes (Figure 1): function pointers and a corruptible
+// default parameter in the data section, heap objects that link the heap to
+// the data section, heap pointers spilled to the stack, and an indirect
+// dispatch the attacker wants to hijack.
+//
+// The win condition: make the final dispatch call secret_disclose with
+// MagicArg, which emits WinSentinel. Normally the dispatch calls
+// log_handler (via admin_ptr) with secret_key's benign value.
+func Victim() *tir.Module {
+	mb := tir.NewModule("victim")
+
+	// The default parameter AOCR attack (C) corrupts (Section 2.3).
+	mb.AddDefaultParam(SymSecretKey, 5)
+	// A recognizable data global; heap objects point at it, giving the
+	// attacker the heap→data stepping stone.
+	mb.AddGlobal(SymBanner, 32, 0x5233432d53525652, 0x62616e6e65723031, 0x1111, 0x2222)
+	// Handler table: a structure whose interior layout the attacker knows
+	// ("[AOCR] makes assumptions on the layout of structures"). Entry 1 is
+	// the juicy whole-function-reuse target.
+	mb.AddFuncPtrTable(SymHandlerTable, SymLogHandler, SymSecretFunc)
+	// Interleaved plain data, as any real data section has.
+	mb.AddGlobal("request_count", 16, 0, 0)
+	// The dispatch pointer the program actually calls at the end.
+	mb.AddFuncPtr(SymAdminPtr, SymLogHandler)
+
+	// secret_disclose(x): the sensitive function; only the magic argument
+	// discloses.
+	sd := mb.NewFunc(SymSecretFunc, 1)
+	{
+		magic := sd.Const(MagicArg)
+		eq := sd.Bin(tir.OpEq, sd.Param(0), magic)
+		win := sd.NewBlock()
+		lose := sd.NewBlock()
+		sd.SetBlock(0)
+		sd.CondBr(eq, win, lose)
+		sd.SetBlock(win)
+		w := sd.Const(WinSentinel)
+		sd.Output(w)
+		sd.Ret(w)
+		sd.SetBlock(lose)
+		l := sd.Const(LoseSentinel)
+		sd.Output(l)
+		sd.Ret(l)
+	}
+
+	// log_handler(x): the benign dispatch target.
+	lh := mb.NewFunc(SymLogHandler, 1)
+	{
+		n := lh.Const(NormalResult)
+		x := lh.Bin(tir.OpXor, lh.Param(0), n)
+		_ = x
+		lh.Ret(n)
+	}
+
+	// helper(obj, v): leaf work; the pause point. Holds the heap object
+	// pointer live across its loop so it is spilled to the stack (the
+	// "registers containing heap pointers that are spilled" of Section
+	// 7.2.3).
+	hp := mb.NewFunc(SymHelper, 2)
+	{
+		acc := hp.NewReg()
+		hp.Mov(acc, hp.Param(1))
+		workload.Loop(hp, 0, 24, func(i tir.Reg) {
+			v := hp.Load(hp.Param(0), 24) // read through the heap pointer
+			hp.BinTo(acc, tir.OpAdd, acc, v)
+			c := hp.Const(0x9e3779b97f4a7c15)
+			hp.BinTo(acc, tir.OpMul, acc, c)
+		})
+		hp.Ret(acc)
+	}
+
+	// validate(obj, v): an intermediate frame between process and helper,
+	// deepening the protected call chain (the RA-chain probability
+	// experiment of Section 7.2.1 needs several protected frames).
+	va := mb.NewFunc(SymValidate, 2)
+	{
+		chkLoc := va.NewLocal("vstate", 8)
+		ca := va.AddrLocal(chkLoc)
+		va.Store(ca, 0, va.Param(1))
+		v := va.Load(ca, 0)
+		r := va.Call(SymHelper, va.Param(0), v)
+		va.Ret(r)
+	}
+	_ = va
+
+	// process(obj, req): one request; a local buffer plus nested calls.
+	pr := mb.NewFunc(SymProcess, 2)
+	{
+		buf := pr.NewLocal("reqbuf", 32)
+		a := pr.AddrLocal(buf)
+		pr.Store(a, 0, pr.Param(1))
+		pr.Store(a, 8, pr.Param(0)) // heap pointer in a stack slot
+		v := pr.Load(a, 0)
+		r := pr.Call(SymValidate, pr.Param(0), v)
+		pr.Store(a, 16, r)
+		pr.Ret(pr.Load(a, 16))
+	}
+
+	// process2(obj, req): a second, rarer request path — a *different call
+	// site* reaching helper, used by the property-(C) ablation attack.
+	pr2 := mb.NewFunc(SymProcess2, 2)
+	{
+		buf := pr2.NewLocal("auditbuf", 16)
+		a := pr2.AddrLocal(buf)
+		pr2.Store(a, 0, pr2.Param(1))
+		v := pr2.Load(a, 0)
+		r := pr2.Call(SymHelper, pr2.Param(0), v)
+		pr2.Ret(r)
+	}
+	_ = pr2
+
+	// serve(obj, req): the dispatcher frame above process.
+	sv := mb.NewFunc(SymServe, 2)
+	{
+		seven := sv.Const(7)
+		bits := sv.Bin(tir.OpAnd, sv.Param(1), seven)
+		z := sv.Const(0)
+		isAudit := sv.Bin(tir.OpEq, bits, z)
+		audit := sv.NewBlock()
+		normal := sv.NewBlock()
+		sv.SetBlock(0)
+		sv.CondBr(isAudit, audit, normal)
+		sv.SetBlock(audit)
+		r2 := sv.Call(SymProcess2, sv.Param(0), sv.Param(1))
+		sv.Ret(r2)
+		sv.SetBlock(normal)
+		r := sv.Call(SymProcess, sv.Param(0), sv.Param(1))
+		sv.Ret(r)
+	}
+	_ = sv
+
+	main := mb.NewFunc("main", 0)
+	{
+		// Heap object graph: obj -> banner (data section), plus payload.
+		sz := main.Const(64)
+		obj := main.Alloc(sz)
+		ba := main.AddrGlobal(SymBanner)
+		main.Store(obj, 0, ba) // heap word pointing into the data section
+		c1 := main.Const(0xabcdef)
+		main.Store(obj, 8, c1)
+		hs := main.Const(64)
+		obj2 := main.Alloc(hs)
+		main.Store(obj, 16, obj2) // heap->heap pointer
+		c2 := main.Const(0x42)
+		main.Store(obj, 24, c2)
+
+		chk := main.Const(0)
+		workload.Loop(main, 0, VictimRequests, func(rq tir.Reg) {
+			r := main.Call(SymServe, obj, rq)
+			main.BinTo(chk, tir.OpXor, chk, r)
+		})
+		main.Output(chk)
+
+		// The dispatch the attacker hijacks: call through admin_ptr with
+		// the default parameter from the data section.
+		ap := main.AddrGlobal(SymAdminPtr)
+		fp := main.Load(ap, 0)
+		ka := main.AddrGlobal(SymSecretKey)
+		key := main.Load(ka, 0)
+		res := main.CallIndirect(fp, key)
+		main.Output(res)
+
+		main.Free(obj)
+		main.Free(obj2)
+		main.RetVoid()
+	}
+
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// HasWin reports whether the victim's output contains the win sentinel.
+func HasWin(output []uint64) bool {
+	for _, w := range output {
+		if w == WinSentinel {
+			return true
+		}
+	}
+	return false
+}
+
+// Outcome classifies an attack attempt.
+type Outcome int
+
+const (
+	// Success: the attacker reached the win condition.
+	Success Outcome = iota
+	// Failed: the attack completed without effect (wrong target, stale
+	// address, benign result).
+	Failed
+	// Detected: a booby trap fired — the defender got an actionable signal
+	// (the reactive component, Sections 4.1/4.2).
+	Detected
+	// Crashed: the victim crashed without tripping a booby trap.
+	Crashed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "success"
+	case Failed:
+		return "failed"
+	case Detected:
+		return "DETECTED"
+	case Crashed:
+		return "crashed"
+	}
+	return "?"
+}
+
+// Tally accumulates Monte-Carlo attack outcomes.
+type Tally struct {
+	Success, Failed, Detected, Crashed int
+}
+
+// Add records one outcome.
+func (t *Tally) Add(o Outcome) {
+	switch o {
+	case Success:
+		t.Success++
+	case Failed:
+		t.Failed++
+	case Detected:
+		t.Detected++
+	case Crashed:
+		t.Crashed++
+	}
+}
+
+// Trials returns the total number of recorded outcomes.
+func (t *Tally) Trials() int { return t.Success + t.Failed + t.Detected + t.Crashed }
+
+// SuccessRate returns the fraction of successful attempts.
+func (t *Tally) SuccessRate() float64 {
+	if t.Trials() == 0 {
+		return 0
+	}
+	return float64(t.Success) / float64(t.Trials())
+}
+
+// DetectionRate returns the fraction of attempts that detonated a booby
+// trap.
+func (t *Tally) DetectionRate() float64 {
+	if t.Trials() == 0 {
+		return 0
+	}
+	return float64(t.Detected) / float64(t.Trials())
+}
+
+func (t *Tally) String() string {
+	return fmt.Sprintf("success=%d failed=%d detected=%d crashed=%d (n=%d)",
+		t.Success, t.Failed, t.Detected, t.Crashed, t.Trials())
+}

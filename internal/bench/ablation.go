@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"r2c/internal/defense"
+	"r2c/internal/stats"
+	"r2c/internal/vm"
+)
+
+// AblationResult collects the design-choice performance ablations the paper
+// reports in passing and DESIGN.md section 4 calls out.
+type AblationResult struct {
+	// BTDPSkipSavingPct is the geomean saving of the Section 5.2
+	// optimization (skip functions without stack allocations); the paper
+	// reports ≈1%.
+	BTDPSkipSavingPct float64
+	// VZeroUpperPenaltyPct is the geomean extra cost of omitting
+	// vzeroupper after the AVX2 setup (Section 5.1.2 reports up to 50%).
+	VZeroUpperPenaltyPct float64
+	// VZeroUpperPenaltyMaxPct is the worst benchmark.
+	VZeroUpperPenaltyMaxPct float64
+	// BTRACountPct maps BTRAs-per-call-site to geomean overhead (the
+	// security/performance dial of Section 7.1).
+	BTRACountPct map[int]float64
+	// CheckBTRAsCostPct is the geomean cost of the Section 7.3 consistency
+	// checks on top of full R2C.
+	CheckBTRAsCostPct float64
+}
+
+// Ablations measures the design-choice ablations on the EPYC Rome profile.
+func Ablations(opt Options) (*AblationResult, error) {
+	res := &AblationResult{BTRACountPct: map[int]float64{}}
+	prof := vm.EPYCRome()
+
+	// (1) BTDP skip optimization (Section 5.2 / 6.2.2).
+	withSkip := defense.BTDPOnly()
+	noSkip := defense.BTDPOnly()
+	noSkip.Name = "btdp-noskip"
+	noSkip.BTDPSkipNoStackFuncs = false
+	ovs, err := MeasureOverheads([]defense.Config{withSkip, noSkip}, prof, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.BTDPSkipSavingPct = stats.Pct(ovs[1].Geomean()) - stats.Pct(ovs[0].Geomean())
+	opt.printf("BTDP skip optimization saves %.2f%% geomean (paper: ≈1%%)\n", res.BTDPSkipSavingPct)
+
+	// (2) vzeroupper (Section 5.1.2).
+	avx := defense.BTRAAVXOnly()
+	noVZ := defense.BTRAAVXOnly()
+	noVZ.Name = "btra-avx-novzeroupper"
+	noVZ.OmitVZeroUpper = true
+	ovs, err = MeasureOverheads([]defense.Config{avx, noVZ}, prof, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.VZeroUpperPenaltyPct = stats.Pct(ovs[1].Geomean()) - stats.Pct(ovs[0].Geomean())
+	_, m1 := ovs[1].Max()
+	res.VZeroUpperPenaltyMaxPct = stats.Pct(m1)
+	opt.printf("omitting vzeroupper costs +%.1f%% geomean, worst benchmark %.1f%% (paper: up to 50%%)\n",
+		res.VZeroUpperPenaltyPct, res.VZeroUpperPenaltyMaxPct)
+
+	// (3) BTRA count sweep (Section 7.1: more BTRAs buy security).
+	var sweep []defense.Config
+	for _, n := range []int{5, 10, 20} {
+		c := defense.BTRAAVXOnly()
+		c.Name = "btra-avx-" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+		c.BTRAsPerCall = n
+		sweep = append(sweep, c)
+	}
+	ovs, err = MeasureOverheads(sweep, prof, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range []int{5, 10, 20} {
+		res.BTRACountPct[n] = stats.Pct(ovs[i].Geomean())
+		opt.printf("AVX2 setup with %2d BTRAs per call site: %.2f%% geomean\n", n, res.BTRACountPct[n])
+	}
+
+	// (4) Section 7.3 consistency checks.
+	full := defense.R2CFull()
+	checked := defense.R2CFull()
+	checked.Name = "r2c-btra-checks"
+	checked.CheckBTRAsOnReturn = true
+	ovs, err = MeasureOverheads([]defense.Config{full, checked}, prof, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.CheckBTRAsCostPct = stats.Pct(ovs[1].Geomean()) - stats.Pct(ovs[0].Geomean())
+	opt.printf("BTRA consistency checks cost +%.2f%% geomean on top of full R2C\n", res.CheckBTRAsCostPct)
+	return res, nil
+}

@@ -1,0 +1,301 @@
+// Package bench contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation (Section 6): Table 1 (component
+// overheads), Table 2 (call frequencies), Figure 6 (full-R2C overhead on
+// four machines), the webserver throughput experiment (Section 6.2.4), the
+// memory-overhead experiment (Section 6.2.5), the offset-invariant
+// addressing measurement (Section 6.2.1), the AVX-512 variant (Section
+// 7.1), and the scalability experiment (Section 6.3).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"r2c/internal/defense"
+	"r2c/internal/sim"
+	"r2c/internal/stats"
+	"r2c/internal/tir"
+	"r2c/internal/vm"
+	"r2c/internal/workload"
+)
+
+// Options control experiment size.
+type Options struct {
+	// Scale divides workload iteration counts (1 = calibrated full size).
+	Scale int
+	// Runs is the number of differently-seeded builds per measurement; the
+	// paper takes medians over repeated runs with fresh seeds.
+	Runs int
+	// Out receives the printed table (may be nil).
+	Out io.Writer
+}
+
+func (o Options) scale() int {
+	if o.Scale < 1 {
+		return 1
+	}
+	return o.Scale
+}
+
+func (o Options) runs() int {
+	if o.Runs < 1 {
+		return 3
+	}
+	return o.Runs
+}
+
+func (o Options) printf(format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}
+
+// medianCycles builds and runs m under cfg `runs` times with distinct seeds
+// and returns the median modeled cycle count.
+func medianCycles(m *tir.Module, cfg defense.Config, prof *vm.Profile, runs int, seedBase uint64) (float64, error) {
+	var cycles []float64
+	for i := 0; i < runs; i++ {
+		res, _, err := sim.Run(m, cfg, seedBase+uint64(i)*1000003, prof)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		cycles = append(cycles, res.Cycles)
+	}
+	return stats.Median(cycles), nil
+}
+
+// Overheads holds per-benchmark overhead ratios for one configuration.
+type Overheads struct {
+	Config  string
+	ByBench map[string]float64 // ratio, e.g. 1.06
+}
+
+// Geomean returns the geometric mean ratio across benchmarks.
+func (o *Overheads) Geomean() float64 {
+	var xs []float64
+	for _, v := range o.ByBench {
+		xs = append(xs, v)
+	}
+	return stats.GeoMean(xs)
+}
+
+// Max returns the maximum ratio and the benchmark it occurs on.
+func (o *Overheads) Max() (string, float64) {
+	bestN, bestV := "", 0.0
+	names := make([]string, 0, len(o.ByBench))
+	for n := range o.ByBench {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if v := o.ByBench[n]; v > bestV {
+			bestN, bestV = n, v
+		}
+	}
+	return bestN, bestV
+}
+
+// MeasureOverheads computes per-benchmark overhead ratios of each config
+// against the unprotected baseline on the given machine profile.
+func MeasureOverheads(cfgs []defense.Config, prof *vm.Profile, opt Options) ([]Overheads, error) {
+	specs := workload.SPEC()
+	base := make(map[string]float64)
+	modules := make(map[string]*tir.Module)
+	for _, b := range specs {
+		m := b.Build(opt.scale())
+		modules[b.Name] = m
+		c, err := medianCycles(m, defense.Off(), prof, opt.runs(), 17)
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", b.Name, err)
+		}
+		base[b.Name] = c
+	}
+	var out []Overheads
+	for _, cfg := range cfgs {
+		ov := Overheads{Config: cfg.Name, ByBench: map[string]float64{}}
+		for _, b := range specs {
+			c, err := medianCycles(modules[b.Name], cfg, prof, opt.runs(), 31)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", b.Name, cfg.Name, err)
+			}
+			ov.ByBench[b.Name] = stats.Overhead(c, base[b.Name])
+		}
+		out = append(out, ov)
+	}
+	return out, nil
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Name         string
+	Max, Geomean float64 // ratios, paper prints e.g. 1.21 / 1.06
+}
+
+// Table1 regenerates Table 1: the maximum and geometric-mean overhead of
+// R2C's components (Push, AVX, BTDP, Prolog, Layout), measured on the EPYC
+// Rome profile like the paper's component analysis (Section 6.2).
+func Table1(opt Options) ([]Table1Row, error) {
+	cfgs := defense.Components()
+	ovs, err := MeasureOverheads(cfgs, vm.EPYCRome(), opt)
+	if err != nil {
+		return nil, err
+	}
+	label := map[string]string{
+		"btra-push": "Push", "btra-avx": "AVX", "btdp": "BTDP",
+		"prolog": "Prolog", "layout": "Layout",
+	}
+	var rows []Table1Row
+	opt.printf("Table 1: component overheads (relative to baseline)\n")
+	opt.printf("%-8s %6s %9s\n", "", "max", "geomean")
+	for _, ov := range ovs {
+		_, max := ov.Max()
+		r := Table1Row{Name: label[ov.Config], Max: max, Geomean: ov.Geomean()}
+		rows = append(rows, r)
+		opt.printf("%-8s %6.2f %9.2f\n", r.Name, r.Max, r.Geomean)
+	}
+	return rows, nil
+}
+
+// Table2Row is one row of Table 2.
+type Table2Row struct {
+	Benchmark string
+	// Measured is the median executed-call count in the simulation;
+	// Scaled is Measured / CallScale, the Table 2 magnitude.
+	Measured uint64
+	Scaled   uint64
+	Paper    uint64
+}
+
+// Table2 regenerates Table 2: median executed call frequencies per
+// benchmark (call instructions only; tail calls are jumps and excluded,
+// Section 7.1). Each benchmark is run with several inputs — seeds vary the
+// synthetic input data — and the median is reported. The workloads always
+// run at their calibrated full size here (a baseline-only run is cheap and
+// several benchmarks have a fixed-size hot loop that cannot scale down).
+func Table2(opt Options) ([]Table2Row, error) {
+	var rows []Table2Row
+	opt.printf("Table 2: median call frequencies (scaled to paper magnitude)\n")
+	opt.printf("%-10s %15s %18s %18s\n", "benchmark", "measured", "scaled", "paper")
+	for _, b := range workload.SPEC() {
+		var counts []uint64
+		for i := 0; i < opt.runs(); i++ {
+			// Different seeds act as different inputs.
+			res, _, err := sim.Run(b.Build(1), defense.Off(), 100+uint64(i)*77, vm.EPYCRome())
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Name, err)
+			}
+			counts = append(counts, res.Calls)
+		}
+		med := stats.MedianU64(counts)
+		row := Table2Row{
+			Benchmark: b.Name,
+			Measured:  med,
+			Scaled:    uint64(float64(med) / workload.CallScale),
+			Paper:     b.PaperCalls,
+		}
+		rows = append(rows, row)
+		opt.printf("%-10s %15d %18d %18d\n", row.Benchmark, row.Measured, row.Scaled, row.Paper)
+	}
+	return rows, nil
+}
+
+// Figure6Series is the full-R2C overhead series for one machine.
+type Figure6Series struct {
+	Machine string
+	ByBench map[string]float64 // percent overhead
+	Geomean float64            // percent
+}
+
+// Figure6 regenerates Figure 6: full R2C (all protections, BTRAs also on
+// calls to unprotected code) on the four machine profiles. The paper's
+// geomean band is 6.6–8.5%.
+func Figure6(opt Options) ([]Figure6Series, error) {
+	var out []Figure6Series
+	for _, prof := range vm.AllMachines() {
+		ovs, err := MeasureOverheads([]defense.Config{defense.R2CFull()}, prof, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", prof.Name, err)
+		}
+		s := Figure6Series{Machine: prof.Name, ByBench: map[string]float64{}}
+		for n, v := range ovs[0].ByBench {
+			s.ByBench[n] = stats.Pct(v)
+		}
+		s.Geomean = stats.Pct(ovs[0].Geomean())
+		out = append(out, s)
+	}
+	opt.printf("Figure 6: full R2C performance impact (%%)\n%-10s", "benchmark")
+	for _, s := range out {
+		opt.printf(" %12s", s.Machine)
+	}
+	opt.printf("\n")
+	for _, b := range workload.SPEC() {
+		opt.printf("%-10s", b.Name)
+		for _, s := range out {
+			opt.printf(" %12.1f", s.ByBench[b.Name])
+		}
+		opt.printf("\n")
+	}
+	opt.printf("%-10s", "geomean")
+	for _, s := range out {
+		opt.printf(" %12.1f", s.Geomean)
+	}
+	opt.printf("\n")
+	return out, nil
+}
+
+// OIAResult is the offset-invariant addressing measurement.
+type OIAResult struct {
+	GeomeanPct, MaxPct float64
+	MaxBench           string
+}
+
+// OIA regenerates the offset-invariant addressing measurement of Section
+// 6.2.1 (paper: 0.79% geomean, 3.61% max): OIA enabled, everything else
+// off, so the cost is rbp bookkeeping at stack-argument call sites plus the
+// lost frame-pointer omission.
+func OIA(opt Options) (*OIAResult, error) {
+	ovs, err := MeasureOverheads([]defense.Config{defense.OIAOnly()}, vm.EPYCRome(), opt)
+	if err != nil {
+		return nil, err
+	}
+	name, max := ovs[0].Max()
+	r := &OIAResult{
+		GeomeanPct: stats.Pct(ovs[0].Geomean()),
+		MaxPct:     stats.Pct(max),
+		MaxBench:   name,
+	}
+	opt.printf("Offset-invariant addressing alone: geomean %.2f%%, max %.2f%% (%s)\n",
+		r.GeomeanPct, r.MaxPct, r.MaxBench)
+	return r, nil
+}
+
+// AVX512Result compares the AVX2 and AVX-512 BTRA setups (Section 7.1).
+type AVX512Result struct {
+	AVX2GeomeanPct      float64
+	AVX512GeomeanPct    float64 // same 10 BTRAs, wider moves
+	AVX512x20GeomeanPct float64 // twice the BTRAs in the same move count
+}
+
+// AVX512 regenerates the Section 7.1 claim: with the same number of vector
+// moves, AVX-512 performance is roughly identical to AVX2, and one can use
+// twice as many BTRAs for a similar cost.
+func AVX512(opt Options) (*AVX512Result, error) {
+	avx2 := defense.BTRAAVXOnly()
+	avx512 := defense.BTRAAVX512()
+	avx512x2 := defense.BTRAAVX512()
+	avx512x2.Name = "btra-avx512x20"
+	avx512x2.BTRAsPerCall = 20
+	ovs, err := MeasureOverheads([]defense.Config{avx2, avx512, avx512x2}, vm.Xeon8358(), opt)
+	if err != nil {
+		return nil, err
+	}
+	r := &AVX512Result{
+		AVX2GeomeanPct:      stats.Pct(ovs[0].Geomean()),
+		AVX512GeomeanPct:    stats.Pct(ovs[1].Geomean()),
+		AVX512x20GeomeanPct: stats.Pct(ovs[2].Geomean()),
+	}
+	opt.printf("AVX2 10 BTRAs: %.2f%%  AVX-512 10 BTRAs: %.2f%%  AVX-512 20 BTRAs: %.2f%%\n",
+		r.AVX2GeomeanPct, r.AVX512GeomeanPct, r.AVX512x20GeomeanPct)
+	return r, nil
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+
+	"r2c/internal/attack"
+	"r2c/internal/defense"
+	"r2c/internal/stats"
+	"r2c/internal/vm"
+)
+
+// Verdict condenses Monte-Carlo attack outcomes into a Table 3 cell.
+type Verdict int
+
+const (
+	// Protected: the attack never succeeded.
+	Protected Verdict = iota
+	// Partial: the attack sometimes succeeds (probabilistic residual
+	// surface, like PIROP vs R2C — Section 7.3).
+	Partial
+	// Vulnerable: the attack succeeds reliably.
+	Vulnerable
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Protected:
+		return "●"
+	case Partial:
+		return "◐"
+	case Vulnerable:
+		return "○"
+	}
+	return "?"
+}
+
+func verdictOf(t *attack.Tally) Verdict {
+	switch r := t.SuccessRate(); {
+	case r == 0:
+		return Protected
+	case r >= 0.5:
+		return Vulnerable
+	default:
+		return Partial
+	}
+}
+
+// MatrixRow is one defense's row of Table 3.
+type MatrixRow struct {
+	Defense     string
+	OverheadPct float64
+	Cxx         bool
+	ROP         Verdict
+	JITROP      Verdict
+	PIROP       Verdict
+	AOCR        Verdict
+	// Tallies keeps the raw outcome counts per attack for the appendix.
+	Tallies map[string]*attack.Tally
+	// DetectionRate is the fraction of attempts (across all attacks) that
+	// detonated a booby trap — the reactive component's yield.
+	DetectionRate float64
+}
+
+// table3Configs returns the Table 3 rows in order.
+func table3Configs() []defense.Config {
+	cfgs := defense.Baselines()
+	return append(cfgs, defense.R2CFull())
+}
+
+// Table3 regenerates Table 3: each related defense and R2C versus the four
+// attack classes, with overheads measured on our own workload suite (the
+// paper quotes the respective original papers' SPEC numbers; rerunning them
+// under one methodology is the fairer comparison its caption wishes for).
+func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
+	if trials <= 0 {
+		trials = 10
+	}
+	var rows []MatrixRow
+	for _, cfg := range table3Configs() {
+		row := MatrixRow{Defense: cfg.Name, Cxx: cfg.SupportsCxx, Tallies: map[string]*attack.Tally{}}
+		attacks := []struct {
+			name string
+			run  func(*attack.Scenario) attack.Outcome
+		}{
+			{"rop", (*attack.Scenario).ROP},
+			{"jitrop", func(s *attack.Scenario) attack.Outcome {
+				// Worst case of direct and indirect JIT-ROP.
+				if o := s.JITROP(); o == attack.Success {
+					return o
+				}
+				return s.IndirectJITROP()
+			}},
+			{"pirop", nil}, // handled specially: persistent retries
+			{"aocr", (*attack.Scenario).AOCR},
+		}
+		detections, total := 0, 0
+		for _, a := range attacks {
+			tally := &attack.Tally{}
+			for i := 0; i < trials; i++ {
+				seed := uint64(1000*i+7) + uint64(len(rows))*31
+				if a.run == nil { // PIROP: persistent across worker restarts
+					tally.Add(attack.PIROPPersistent(cfg, seed, 12))
+					continue
+				}
+				s, err := attack.NewScenario(cfg, seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", cfg.Name, a.name, err)
+				}
+				tally.Add(a.run(s))
+			}
+			row.Tallies[a.name] = tally
+			detections += tally.Detected
+			total += tally.Trials()
+		}
+		row.ROP = verdictOf(row.Tallies["rop"])
+		row.JITROP = verdictOf(row.Tallies["jitrop"])
+		row.PIROP = verdictOf(row.Tallies["pirop"])
+		row.AOCR = verdictOf(row.Tallies["aocr"])
+		row.DetectionRate = float64(detections) / float64(total)
+		rows = append(rows, row)
+	}
+
+	if withOverheads {
+		var cfgs []defense.Config
+		for _, c := range table3Configs() {
+			cfgs = append(cfgs, c)
+		}
+		ovs, err := MeasureOverheads(cfgs, vm.EPYCRome(), opt)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rows {
+			rows[i].OverheadPct = stats.Pct(ovs[i].Geomean())
+		}
+	}
+
+	opt.printf("Table 3: defense comparison (● protected  ◐ partial  ○ vulnerable)\n")
+	opt.printf("%-12s %9s %4s %5s %8s %6s %5s %7s\n", "defense", "overhead", "C++", "ROP", "JIT-ROP", "PIROP", "AOCR", "detect%")
+	for _, r := range rows {
+		opt.printf("%-12s %8.1f%% %4v %5s %8s %6s %5s %6.0f%%\n",
+			r.Defense, r.OverheadPct, r.Cxx, r.ROP, r.JITROP, r.PIROP, r.AOCR, r.DetectionRate*100)
+	}
+	return rows, nil
+}
+
+// ProbPoint is one measurement of the BTRA guessing experiment.
+type ProbPoint struct {
+	R          int     // BTRAs per call site
+	PerFrame   float64 // measured single-RA success rate
+	Analytic   float64 // 1/(R+1)
+	Chain4     float64 // measured^4 (n=4 chain)
+	Analytic4  float64 // (1/(R+1))^4
+	FramePicks int
+}
+
+// Prob regenerates the Section 7.2.1 analysis empirically: an attacker
+// picking uniformly among each frame's return-address candidates succeeds
+// per frame with probability ≈ 1/(R+1); a four-address ROP chain therefore
+// succeeds with (1/(R+1))^4 ≈ 0.00007 for R=10.
+func Prob(opt Options, trials int) ([]ProbPoint, error) {
+	if trials <= 0 {
+		trials = 60
+	}
+	var out []ProbPoint
+	for _, R := range []int{2, 5, 10} {
+		cfg := defense.R2CFull()
+		cfg.Name = fmt.Sprintf("r2c-%dbtras", R)
+		cfg.BTRAsPerCall = R
+		hits, picks := 0, 0
+		for i := 0; i < trials; i++ {
+			s, err := attack.NewScenario(cfg, uint64(i)*97+3)
+			if err != nil {
+				return nil, err
+			}
+			runs, err := s.CandidateRuns()
+			if err != nil {
+				return nil, err
+			}
+			// The four innermost protected frames: helper, validate,
+			// process, serve.
+			n := 4
+			if len(runs) < n {
+				n = len(runs)
+			}
+			for _, run := range runs[:n] {
+				pick := run[s.Rnd.Intn(len(run))]
+				picks++
+				if s.IsRealRA(pick) {
+					hits++
+				}
+			}
+		}
+		p := float64(hits) / float64(picks)
+		pt := ProbPoint{
+			R:          R,
+			PerFrame:   p,
+			Analytic:   1 / float64(R+1),
+			Chain4:     p * p * p * p,
+			Analytic4:  stats.BTRAGuessProbability(R, 4),
+			FramePicks: picks,
+		}
+		out = append(out, pt)
+		opt.printf("R=%2d: per-frame success %.4f (analytic %.4f), 4-chain %.2e (analytic %.2e), %d picks\n",
+			pt.R, pt.PerFrame, pt.Analytic, pt.Chain4, pt.Analytic4, pt.FramePicks)
+	}
+	return out, nil
+}
+
+// SideChannelResult summarizes the Section 7.3 remaining-attack-surface
+// demonstration.
+type SideChannelResult struct {
+	StaticAttempts   int
+	StaticIdentified bool
+	FreshIdentified  bool
+}
+
+// SideChannel demonstrates the crash side channel of Section 7.3: against a
+// worker pool that restarts without re-randomizing, zeroing return-address
+// candidates one restart at a time identifies the real return address in at
+// most R+1 restarts; load-time re-randomization (fresh seed per restart)
+// defeats the accumulation.
+func SideChannel(opt Options) (*SideChannelResult, error) {
+	cfg := defense.R2CFull()
+	s, err := attack.NewScenario(cfg, 42)
+	if err != nil {
+		return nil, err
+	}
+	attempts, identified, _ := s.CrashSideChannel(16, false)
+
+	s2, err := attack.NewScenario(cfg, 43)
+	if err != nil {
+		return nil, err
+	}
+	_, freshIdentified, _ := s2.CrashSideChannel(16, true)
+
+	r := &SideChannelResult{
+		StaticAttempts:   attempts,
+		StaticIdentified: identified,
+		FreshIdentified:  freshIdentified,
+	}
+	opt.printf("crash side channel (Section 7.3): static layout identified RA after %d restarts: %v; with load-time re-randomization: %v\n",
+		r.StaticAttempts, r.StaticIdentified, r.FreshIdentified)
+	return r, nil
+}

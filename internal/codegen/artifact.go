@@ -1,0 +1,202 @@
+// Package codegen lowers TIR modules to the simulated ISA and is where every
+// per-function R2C transformation happens: BTRA call-site instrumentation
+// (push and AVX2 setups), BTDP spill instrumentation, NOP insertion, prolog
+// trap insertion, stack-slot randomization, register-allocation
+// randomization, and offset-invariant addressing. Function and global
+// shuffling happen later, in the linker (package image).
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"r2c/internal/defense"
+	"r2c/internal/isa"
+	"r2c/internal/tir"
+)
+
+// AddrWord is a link-time-resolved 64-bit datum: either the address of a
+// symbol (plus offset) or the return address of a call site. AVX2 BTRA
+// arrays are sequences of AddrWords (Section 5.1.2: "a call-site specific
+// array in the data section, prepared at compile time").
+type AddrWord struct {
+	Sym        string
+	Off        int64
+	RetAddr    bool
+	CallSiteID int
+	// BTRA marks booby-trap entries, for introspection and the runtime's
+	// reroll support; invisible in memory.
+	BTRA bool
+}
+
+// DataBlob is a code-generator-emitted data object (e.g. an AVX2 BTRA
+// array) the linker must place in the data section.
+type DataBlob struct {
+	Name  string
+	Words []AddrWord
+}
+
+// SlotKind classifies a stack-frame slot.
+type SlotKind int
+
+const (
+	// SlotLocal is a TIR local (alloca).
+	SlotLocal SlotKind = iota
+	// SlotSpill holds a spilled virtual register.
+	SlotSpill
+	// SlotBTDP holds a booby-trapped data pointer written by the prologue.
+	SlotBTDP
+	// SlotPad is alignment padding.
+	SlotPad
+)
+
+func (k SlotKind) String() string {
+	switch k {
+	case SlotLocal:
+		return "local"
+	case SlotSpill:
+		return "spill"
+	case SlotBTDP:
+		return "btdp"
+	case SlotPad:
+		return "pad"
+	}
+	return "?"
+}
+
+// Slot describes one frame slot in the final (possibly randomized) layout.
+// Offsets are relative to the post-prologue stack pointer.
+type Slot struct {
+	Kind   SlotKind
+	Name   string
+	Offset int64
+	Size   uint64
+}
+
+// CallSite records the toolchain's ground truth about one lowered call
+// site. The attack framework uses it as the oracle for judging attacks
+// (e.g. "did the attacker pick the real RA or a BTRA?"); the VM uses the
+// call-site ID for call counting.
+type CallSite struct {
+	ID     int
+	Caller string
+	Callee string // "" for indirect
+	Tail   bool
+
+	// Pre and Post are the BTRA counts before/above and after/below the
+	// return address (after alignment padding). Zero when uninstrumented.
+	Pre, Post int
+	// BTRAs lists the booby-trap targets in stack order, topmost first;
+	// entry Pre is where the RA sits (not included here).
+	BTRAs []AddrWord
+	// NumNOPs is the number of NOPs inserted before the site.
+	NumNOPs int
+	// ArraySym names the AVX2 setup array blob ("" for push setup).
+	ArraySym string
+	// StackArgs is the number of arguments passed on the stack.
+	StackArgs int
+	// CallInstrIndex is the index of the KCall/KCallInd in the function's
+	// instruction slice.
+	CallInstrIndex int
+}
+
+// Func is one compiled function.
+type Func struct {
+	Name      string
+	Instrs    []isa.Instr
+	Protected bool
+	BoobyTrap bool
+	Stub      bool
+
+	// PostOffset is the callee-chosen number of BTRA words protected below
+	// the return address (Section 5.1).
+	PostOffset int
+	// FrameSize is the byte size of the local frame (below saved regs).
+	FrameSize int64
+	// Slots is the final frame layout.
+	Slots []Slot
+	// CalleeSaved lists the callee-saved registers the prologue pushes.
+	CalleeSaved []isa.Reg
+	// NumPrologTraps is the count of trap instructions hidden in the
+	// prolog (Section 4.3).
+	NumPrologTraps int
+	// NumBTDPs is the number of BTDP slots the prologue populates.
+	NumBTDPs int
+	// CallSites lists the function's call sites in emission order.
+	CallSites []CallSite
+	// NumStackParams is the number of parameters received on the stack.
+	// Without OIA the callee reads them rsp-relative (the frame pointer is
+	// omitted, as -O3 code does); under OIA it reads them through the rbp
+	// the caller parked at the first stack argument (Section 5.1.1).
+	NumStackParams int
+}
+
+// Disasm renders the function's instructions with indices.
+func (f *Func) Disasm() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:\n", f.Name)
+	for i := range f.Instrs {
+		fmt.Fprintf(&sb, "  %3d: %s\n", i, f.Instrs[i].String())
+	}
+	return sb.String()
+}
+
+// Program is a fully lowered module, ready for linking.
+type Program struct {
+	Module *tir.Module
+	Config defense.Config
+	Seed   uint64
+
+	// Funcs holds the module's functions in source order (the linker
+	// shuffles). Includes runtime stubs and, when BTRAs are enabled, the
+	// booby-trap functions.
+	Funcs []*Func
+	// Blobs holds codegen-emitted data (AVX2 BTRA arrays).
+	Blobs []*DataBlob
+	// NumCallSites is the total number of call sites (IDs are dense).
+	NumCallSites int
+}
+
+// Func returns the compiled function with the given name, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Stub names for the simulated unprotected runtime (the paper compiles
+// benchmarks against the unprotected system glibc, Section 6.2; calls into
+// these are the "calls to unprotected code" of Section 7.4.1).
+const (
+	StubMalloc = "__rt_malloc"
+	StubFree   = "__rt_free"
+	StubOutput = "__rt_output"
+	StubExit   = "__rt_exit"
+)
+
+// BTDP data-section symbols. The runtime constructor fills them at load
+// time (Section 5.2).
+const (
+	// SymBTDPArrayPtr is the single heap pointer to the BTDP array
+	// (hardened layout, Figure 5 right).
+	SymBTDPArrayPtr = "__btdp_arrptr"
+	// SymBTDPArray is the in-data-section array of the naive ablation
+	// (Figure 5 left).
+	SymBTDPArray = "__btdp_array"
+	// SymBTDPDecoyPrefix prefixes the decoy BTDPs placed in the data
+	// section ("these additional BTDPs never occur on the stack").
+	SymBTDPDecoyPrefix = "__btdp_decoy"
+)
+
+// BoobyTrapSym returns the symbol name of booby-trap function i.
+func BoobyTrapSym(i int) string { return fmt.Sprintf("__bt%d", i) }
+
+// TrampolineSym returns the CPH trampoline symbol for a function (Readactor
+// baseline).
+func TrampolineSym(fn string) string { return "__tramp_" + fn }
+
+// ArraySym returns the AVX2 BTRA array symbol for a call site.
+func ArraySym(callSiteID int) string { return fmt.Sprintf("__btra_arr_cs%d", callSiteID) }

@@ -1,0 +1,454 @@
+// Package defense defines defense configurations: which diversification and
+// protection techniques the toolchain applies. A Config both drives the code
+// generator/linker/runtime and identifies rows of the paper's comparisons —
+// R2C's components in Table 1, full R2C in Figure 6, and the related-work
+// baselines in Table 3.
+package defense
+
+// BTRAMode selects the booby-trapped return address setup sequence.
+type BTRAMode int
+
+const (
+	// BTRAOff disables BTRAs.
+	BTRAOff BTRAMode = iota
+	// BTRAPush uses the push-based setup (Section 5.1, Figure 3).
+	BTRAPush
+	// BTRAAVX2 uses the AVX2 vectorized setup (Section 5.1.2, Figure 4).
+	BTRAAVX2
+)
+
+func (m BTRAMode) String() string {
+	switch m {
+	case BTRAOff:
+		return "off"
+	case BTRAPush:
+		return "push"
+	case BTRAAVX2:
+		return "avx2"
+	}
+	return "?"
+}
+
+// Config enumerates every knob of the toolchain. The zero value is the
+// unprotected baseline.
+type Config struct {
+	Name string
+
+	// --- BTRAs (Sections 4.1, 5.1) ---
+
+	// BTRASetup selects off/push/AVX2.
+	BTRASetup BTRAMode
+	// BTRAsPerCall is the total number of BTRAs inserted per call site
+	// (pre + post, before alignment padding). The paper evaluates 10.
+	BTRAsPerCall int
+	// BTRAPoolSize is the number of booby-trap functions distributed over
+	// the text section that BTRAs point into.
+	BTRAPoolSize int
+	// BTRAUnprotectedCalls also instruments call sites whose callee is not
+	// compiled by R2C. This measures worst-case overhead (Section 6.2);
+	// the default behaviour disables those BTRAs (Section 7.4.1).
+	BTRAUnprotectedCalls bool
+	// VectorWidthBits is the vector register width for the AVX2 setup
+	// (256 for AVX2, 512 for the AVX-512 variant of Section 7.1).
+	VectorWidthBits int
+	// OmitVZeroUpper is a performance ablation: skip the vzeroupper after
+	// the AVX2 setup. The paper observed up to 50% overhead without it
+	// (Section 5.1.2); the VM charges the SSE/AVX transition penalty.
+	OmitVZeroUpper bool
+
+	// InsecureDynamicBTRAs is an ablation of property (B) in Section 4.1:
+	// re-randomize a call site's BTRA set on every invocation. Two leaked
+	// frames then suffice to identify the return address. Never enabled in
+	// a real configuration; exists so the attack suite can demonstrate why.
+	InsecureDynamicBTRAs bool
+	// InsecureCalleeBTRAs is an ablation of property (C): the BTRA set is
+	// chosen per callee instead of per call site, so frames of different
+	// call sites differ only in the return address.
+	InsecureCalleeBTRAs bool
+
+	// --- BTDPs (Sections 4.2, 5.2) ---
+
+	// BTDP enables booby-trapped data pointers.
+	BTDP bool
+	// BTDPMaxPerFunc is the upper bound of the uniform 0..max BTDP count
+	// per function (the paper uses 5).
+	BTDPMaxPerFunc int
+	// BTDPGuardPages is the number of guard pages kept by the constructor.
+	BTDPGuardPages int
+	// BTDPScatterAllocs is how many page allocations the constructor makes
+	// before freeing all but BTDPGuardPages of them, scattering the rest.
+	BTDPScatterAllocs int
+	// BTDPArrayLen is the number of pointers in the BTDP pointer array.
+	BTDPArrayLen int
+	// BTDPDataDecoys is the number of additional decoy BTDPs placed in the
+	// data section to camouflage the array pointer (Figure 5, hardened).
+	BTDPDataDecoys int
+	// BTDPSkipNoStackFuncs enables the optimization of Section 5.2: skip
+	// instrumenting functions without stack allocations.
+	BTDPSkipNoStackFuncs bool
+	// BTDPNaiveDataArray is the Figure 5 "naive" ablation: the BTDP array
+	// lives directly in the data section, so an attacker who can read the
+	// data section can intersect it with stack values to spot BTDPs.
+	BTDPNaiveDataArray bool
+
+	// --- Code & data layout randomization (Section 4.3) ---
+
+	// ShuffleFunctions randomizes function order in the text section.
+	ShuffleFunctions bool
+	// ShuffleGlobals randomizes global order in the data section.
+	ShuffleGlobals bool
+	// GlobalPadding inserts random padding between globals (Readactor++
+	// style, Section 4).
+	GlobalPadding bool
+	// NOPMin/NOPMax bound the NOPs inserted before each call site
+	// (the paper uses 1..9).
+	NOPMin, NOPMax int
+	// PrologTrapMin/Max bound the traps inserted into each function prolog
+	// (the paper uses 1..5).
+	PrologTrapMin, PrologTrapMax int
+	// ShuffleStackSlots permutes stack-slot assignment per function.
+	ShuffleStackSlots bool
+	// RandomizeRegAlloc shuffles the register allocation order.
+	RandomizeRegAlloc bool
+	// OffsetInvariantAddressing moves frame-pointer setup for stack
+	// arguments to the call site (Section 5.1.1). Implied by BTRAs; can be
+	// enabled alone to measure its cost (Section 6.2.1).
+	OffsetInvariantAddressing bool
+	// CheckBTRAsOnReturn enables the Section 7.3 hardening the paper
+	// proposes against corruption side channels: after each call returns,
+	// the caller verifies a randomly chosen BTRA against its compile-time
+	// value and detonates on mismatch, so overwriting return-address
+	// candidates is no longer silent.
+	CheckBTRAsOnReturn bool
+	// StackArgTrampolines enables the Section 7.4.2 alternative: instead of
+	// downgrading protected stack-parameter functions that unprotected code
+	// calls directly, emit an adapter trampoline so they keep full
+	// protection. (Address-escaped callback functions are still downgraded,
+	// as in the paper's evaluation.)
+	StackArgTrampolines bool
+
+	// --- Memory protection / environment (Section 3) ---
+
+	// XOnlyText maps the text section execute-only.
+	XOnlyText bool
+
+	// --- Baseline-defense behaviours (Table 3) ---
+
+	// CPH models Readactor's code-pointer hiding: code pointers stored in
+	// readable memory point at trampolines in execute-only memory instead
+	// of functions. It hides gadget addresses but remains vulnerable to
+	// AOCR whole-function reuse (Section 2.2).
+	CPH bool
+	// ReRandomizePeriod > 0 models TASR/Shuffler/CodeArmor-style periodic
+	// re-randomization: attacker observations go stale after this many
+	// simulated events.
+	ReRandomizePeriod int
+	// ZeroInitStack models StackArmor's zero-initialization of frames.
+	ZeroInitStack bool
+	// ShadowStack models backward-edge CFI (Section 8.2): the machine
+	// keeps a protected copy of every pushed return address and kills the
+	// process when a RET would consume anything else. Orthogonal to R2C
+	// ("R2C and CFI are orthogonal defenses and could in principle
+	// strengthen each other").
+	ShadowStack bool
+	// SupportsCxx records whether the modelled system handles C++
+	// workloads (Table 3 column); purely descriptive.
+	SupportsCxx bool
+	// SupportsExceptions records exception-handling support (Table 3
+	// footnote 1); descriptive.
+	SupportsExceptions bool
+}
+
+// BTRAEnabled reports whether any BTRA insertion happens.
+func (c *Config) BTRAEnabled() bool { return c.BTRASetup != BTRAOff && c.BTRAsPerCall > 0 }
+
+// OIAEnabled reports whether offset-invariant addressing is in effect —
+// either explicitly or because BTRAs force it.
+func (c *Config) OIAEnabled() bool { return c.OffsetInvariantAddressing || c.BTRAEnabled() }
+
+// Off returns the unprotected baseline configuration.
+func Off() Config {
+	return Config{Name: "baseline", SupportsCxx: true, SupportsExceptions: true}
+}
+
+// r2cCommon holds the settings shared by every R2C configuration.
+func r2cCommon(name string) Config {
+	return Config{
+		Name:               name,
+		XOnlyText:          true,
+		SupportsCxx:        true,
+		SupportsExceptions: true,
+	}
+}
+
+// R2CFull returns the full R2C configuration evaluated in Figure 6:
+// AVX2 BTRAs (10 per call site), BTDPs (0..5 per function), NOP insertion
+// (1..9), prolog traps (1..5), and all layout randomizations. BTRAs are also
+// enabled for calls to unprotected code, matching the paper's worst-case
+// measurement methodology (Section 6.2).
+func R2CFull() Config {
+	c := r2cCommon("r2c-full")
+	c.BTRASetup = BTRAAVX2
+	c.BTRAsPerCall = 10
+	c.BTRAPoolSize = 256
+	c.BTRAUnprotectedCalls = true
+	c.VectorWidthBits = 256
+	c.BTDP = true
+	c.BTDPMaxPerFunc = 5
+	c.BTDPGuardPages = 224
+	c.BTDPScatterAllocs = 640
+	c.BTDPArrayLen = 128
+	c.BTDPDataDecoys = 16
+	c.BTDPSkipNoStackFuncs = true
+	c.ShuffleFunctions = true
+	c.ShuffleGlobals = true
+	c.GlobalPadding = true
+	c.NOPMin, c.NOPMax = 1, 9
+	c.PrologTrapMin, c.PrologTrapMax = 1, 5
+	c.ShuffleStackSlots = true
+	c.RandomizeRegAlloc = true
+	return c
+}
+
+// R2CPush is full R2C with the push-based BTRA setup.
+func R2CPush() Config {
+	c := R2CFull()
+	c.Name = "r2c-full-push"
+	c.BTRASetup = BTRAPush
+	return c
+}
+
+// BTRAPushOnly isolates push-based BTRAs: 10 BTRAs and 1..9 NOPs per call
+// site, everything else off (Table 1 "Push" row; Section 6.2.1).
+func BTRAPushOnly() Config {
+	c := r2cCommon("btra-push")
+	c.BTRASetup = BTRAPush
+	c.BTRAsPerCall = 10
+	c.BTRAPoolSize = 256
+	c.BTRAUnprotectedCalls = true
+	c.NOPMin, c.NOPMax = 1, 9
+	return c
+}
+
+// BTRAAVXOnly isolates AVX2 BTRAs (Table 1 "AVX" row).
+func BTRAAVXOnly() Config {
+	c := BTRAPushOnly()
+	c.Name = "btra-avx"
+	c.BTRASetup = BTRAAVX2
+	c.VectorWidthBits = 256
+	return c
+}
+
+// BTRAAVX512 is the AVX-512 variant discussed in Section 7.1.
+func BTRAAVX512() Config {
+	c := BTRAAVXOnly()
+	c.Name = "btra-avx512"
+	c.VectorWidthBits = 512
+	return c
+}
+
+// BTDPOnly isolates BTDPs: 0..5 per function (Table 1 "BTDP" row).
+func BTDPOnly() Config {
+	c := r2cCommon("btdp")
+	c.BTDP = true
+	c.BTDPMaxPerFunc = 5
+	c.BTDPGuardPages = 64
+	c.BTDPScatterAllocs = 256
+	c.BTDPArrayLen = 128
+	c.BTDPDataDecoys = 16
+	c.BTDPSkipNoStackFuncs = true
+	c.ShuffleStackSlots = true // BTDP slots shuffle with locals (Section 5.2)
+	return c
+}
+
+// PrologOnly isolates prolog trap insertion, 1..5 traps (Table 1 "Prolog").
+func PrologOnly() Config {
+	c := r2cCommon("prolog")
+	c.PrologTrapMin, c.PrologTrapMax = 1, 5
+	return c
+}
+
+// LayoutOnly isolates the layout randomizations: stack slot shuffling,
+// global shuffling, register-allocation randomization, function shuffling
+// (Table 1 "Layout" row; Section 6.2.3).
+func LayoutOnly() Config {
+	c := r2cCommon("layout")
+	c.ShuffleFunctions = true
+	c.ShuffleGlobals = true
+	c.GlobalPadding = true
+	c.ShuffleStackSlots = true
+	c.RandomizeRegAlloc = true
+	return c
+}
+
+// OIAOnly isolates offset-invariant addressing (Section 6.2.1: 0.79%
+// geomean, 3.61% max).
+func OIAOnly() Config {
+	c := r2cCommon("oia")
+	c.OffsetInvariantAddressing = true
+	return c
+}
+
+// --- Related-work baselines (Table 3) ---
+// Each baseline enables only the mechanisms the corresponding system has;
+// the attack suite derives Table 3's security columns from these configs,
+// and the notes columns come from the descriptive fields.
+
+// Readactor models Readactor: fine-grained code randomization, execute-only
+// memory, and code-pointer hiding; no data diversification.
+func Readactor() Config {
+	return Config{
+		Name:              "readactor",
+		XOnlyText:         true,
+		ShuffleFunctions:  true,
+		NOPMin:            1,
+		NOPMax:            9,
+		PrologTrapMin:     1,
+		PrologTrapMax:     5,
+		RandomizeRegAlloc: true,
+		CPH:               true,
+		SupportsCxx:       true,
+	}
+}
+
+// ReadactorPP models Readactor++: Readactor plus function-table/global
+// randomization and booby traps, still without stack data diversification.
+func ReadactorPP() Config {
+	c := Readactor()
+	c.Name = "readactor++"
+	c.ShuffleGlobals = true
+	c.GlobalPadding = true
+	return c
+}
+
+// KRX models kR^X's return-address decoys: a single decoy per return
+// address and fine-grained code diversification (Section 8.1: "single
+// decoy; no heap pointer protection"). kR^X is a kernel defense; we model
+// its user-space analogue.
+func KRX() Config {
+	return Config{
+		Name:             "krx",
+		XOnlyText:        true,
+		ShuffleFunctions: true,
+		NOPMin:           1,
+		NOPMax:           9,
+		BTRASetup:        BTRAPush,
+		BTRAsPerCall:     1, // the single decoy
+		BTRAPoolSize:     64,
+	}
+}
+
+// StackArmor models StackArmor: stack frame location diversification and
+// zero initialization, no code-pointer or heap-pointer protection.
+func StackArmor() Config {
+	return Config{
+		Name:              "stackarmor",
+		ShuffleStackSlots: true,
+		ZeroInitStack:     true,
+	}
+}
+
+// TASR models TASR: timely code re-randomization on I/O system calls; no
+// data diversification. C only, per Table 3.
+func TASR() Config {
+	return Config{
+		Name:              "tasr",
+		ShuffleFunctions:  true,
+		ReRandomizePeriod: 1,
+	}
+}
+
+// CodeArmor models CodeArmor: code-space virtualization with continuous
+// re-randomization; code locators translated at runtime (CPH-like), no data
+// diversification.
+func CodeArmor() Config {
+	return Config{
+		Name:              "codearmor",
+		XOnlyText:         true,
+		ShuffleFunctions:  true,
+		ReRandomizePeriod: 1, // continuous re-randomization
+		CPH:               true,
+	}
+}
+
+// CFIShadowStack models a backward-edge CFI deployment (Section 8.2): a
+// hardware-style shadow stack with no diversification at all. It stops
+// every return-address corruption outright but leaves forward-edge
+// whole-function reuse — AOCR's vector — untouched when the hijacked
+// transfer is a plausible indirect call ("CFI generally prevents ROP and
+// JIT-ROP, but its effectiveness against AOCR depends on whether the
+// malicious control-flow transfers are valid in the approximated CFG").
+func CFIShadowStack() Config {
+	return Config{
+		Name:               "cfi-shadowstack",
+		ShadowStack:        true,
+		SupportsCxx:        true,
+		SupportsExceptions: true,
+	}
+}
+
+// Smokestack models Smokestack: per-invocation stack object permutation
+// against data-only attacks; the return address is not randomized.
+func Smokestack() Config {
+	return Config{
+		Name:              "smokestack",
+		ShuffleStackSlots: true,
+		SupportsCxx:       true,
+	}
+}
+
+// ByName returns a named configuration: "baseline"/"off", "r2c"/"full",
+// "push", the Table 1 component names, or a Table 3 baseline name.
+func ByName(name string) (Config, bool) {
+	switch name {
+	case "baseline", "off", "none":
+		return Off(), true
+	case "r2c", "full", "r2c-full":
+		return R2CFull(), true
+	case "r2c-push", "full-push":
+		return R2CPush(), true
+	case "btra-push", "push":
+		return BTRAPushOnly(), true
+	case "btra-avx", "avx":
+		return BTRAAVXOnly(), true
+	case "btra-avx512", "avx512":
+		return BTRAAVX512(), true
+	case "btdp":
+		return BTDPOnly(), true
+	case "prolog":
+		return PrologOnly(), true
+	case "layout":
+		return LayoutOnly(), true
+	case "oia":
+		return OIAOnly(), true
+	case "readactor":
+		return Readactor(), true
+	case "readactor++":
+		return ReadactorPP(), true
+	case "krx":
+		return KRX(), true
+	case "stackarmor":
+		return StackArmor(), true
+	case "tasr":
+		return TASR(), true
+	case "codearmor":
+		return CodeArmor(), true
+	case "smokestack":
+		return Smokestack(), true
+	case "cfi", "cfi-shadowstack", "shadowstack":
+		return CFIShadowStack(), true
+	}
+	return Config{}, false
+}
+
+// Components returns the per-component configurations of Table 1, in the
+// table's row order.
+func Components() []Config {
+	return []Config{BTRAPushOnly(), BTRAAVXOnly(), BTDPOnly(), PrologOnly(), LayoutOnly()}
+}
+
+// Baselines returns the related-work configurations of Table 3, in the
+// table's row order.
+func Baselines() []Config {
+	return []Config{CodeArmor(), TASR(), StackArmor(), Readactor(), KRX()}
+}

@@ -1,0 +1,113 @@
+package defense
+
+import "testing"
+
+func TestOffIsZeroProtection(t *testing.T) {
+	c := Off()
+	if c.BTRAEnabled() || c.BTDP || c.ShuffleFunctions || c.XOnlyText || c.OIAEnabled() {
+		t.Error("baseline config enables protections")
+	}
+}
+
+func TestR2CFullMatchesPaperParameters(t *testing.T) {
+	c := R2CFull()
+	if !c.BTRAEnabled() || c.BTRASetup != BTRAAVX2 {
+		t.Error("full R2C must use AVX2 BTRAs")
+	}
+	if c.BTRAsPerCall != 10 {
+		t.Errorf("paper evaluates 10 BTRAs per call site, got %d", c.BTRAsPerCall)
+	}
+	if c.BTDPMaxPerFunc != 5 {
+		t.Errorf("paper inserts 0..5 BTDPs per function, got %d", c.BTDPMaxPerFunc)
+	}
+	if c.NOPMin != 1 || c.NOPMax != 9 {
+		t.Errorf("paper inserts 1..9 NOPs, got %d..%d", c.NOPMin, c.NOPMax)
+	}
+	if c.PrologTrapMin != 1 || c.PrologTrapMax != 5 {
+		t.Errorf("paper inserts 1..5 prolog traps, got %d..%d", c.PrologTrapMin, c.PrologTrapMax)
+	}
+	if !c.BTRAUnprotectedCalls {
+		t.Error("the paper measures worst case with BTRAs on calls to unprotected code")
+	}
+	if !c.OIAEnabled() {
+		t.Error("BTRAs imply offset-invariant addressing")
+	}
+	if !c.ShuffleFunctions || !c.ShuffleGlobals || !c.ShuffleStackSlots || !c.RandomizeRegAlloc {
+		t.Error("full R2C must enable all layout randomizations")
+	}
+}
+
+func TestOIAOnlyIsolatesOIA(t *testing.T) {
+	c := OIAOnly()
+	if !c.OIAEnabled() {
+		t.Error("OIA not enabled")
+	}
+	if c.BTRAEnabled() || c.BTDP || c.NOPMax > 0 || c.ShuffleStackSlots {
+		t.Error("OIAOnly enables other diversification")
+	}
+}
+
+func TestComponentsMatchTable1Rows(t *testing.T) {
+	comps := Components()
+	want := []string{"btra-push", "btra-avx", "btdp", "prolog", "layout"}
+	if len(comps) != len(want) {
+		t.Fatalf("components = %d rows, want %d", len(comps), len(want))
+	}
+	for i, c := range comps {
+		if c.Name != want[i] {
+			t.Errorf("row %d = %s, want %s", i, c.Name, want[i])
+		}
+	}
+}
+
+func TestBaselinesMatchTable3Rows(t *testing.T) {
+	rows := Baselines()
+	want := []string{"codearmor", "tasr", "stackarmor", "readactor", "krx"}
+	if len(rows) != len(want) {
+		t.Fatalf("baselines = %d rows, want %d", len(rows), len(want))
+	}
+	for i, c := range rows {
+		if c.Name != want[i] {
+			t.Errorf("row %d = %s, want %s", i, c.Name, want[i])
+		}
+	}
+}
+
+func TestKRXIsSingleDecoy(t *testing.T) {
+	c := KRX()
+	if c.BTRAsPerCall != 1 {
+		t.Errorf("kR^X models a single return-address decoy, got %d", c.BTRAsPerCall)
+	}
+	if c.BTDP {
+		t.Error("kR^X has no heap pointer protection")
+	}
+}
+
+func TestByName(t *testing.T) {
+	names := []string{"baseline", "r2c", "push", "avx", "avx512", "btdp",
+		"prolog", "layout", "oia", "readactor", "readactor++", "krx",
+		"stackarmor", "tasr", "codearmor", "smokestack"}
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("ByName(%q) not found", n)
+		}
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName accepted garbage")
+	}
+	if c, _ := ByName("r2c"); c.Name != "r2c-full" {
+		t.Errorf("r2c resolves to %s", c.Name)
+	}
+}
+
+func TestReRandomizingDefenses(t *testing.T) {
+	if TASR().ReRandomizePeriod <= 0 {
+		t.Error("TASR must re-randomize")
+	}
+	if CodeArmor().ReRandomizePeriod <= 0 || !CodeArmor().CPH {
+		t.Error("CodeArmor must re-randomize and use locator translation")
+	}
+	if Readactor().CPH != true {
+		t.Error("Readactor models code-pointer hiding")
+	}
+}

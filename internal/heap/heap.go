@@ -1,0 +1,256 @@
+// Package heap implements the simulated process heap: a glibc-malloc-like
+// span allocator layered over the paged address space.
+//
+// The BTDP design (Section 5.2 of the paper) leans on four properties of the
+// real allocator, all of which this implementation provides:
+//
+//  1. allocations come out of the heap's value range, so pointers into them
+//     cluster with benign heap pointers under AOCR's statistical analysis;
+//  2. page-aligned, page-sized allocations exist (AllocAligned), so a chunk
+//     can be protected at page granularity;
+//  3. an allocation's pages can have their permissions revoked (Protect),
+//     turning the chunk into a guard page;
+//  4. chunks that are allocated and never freed are never reused for other
+//     allocations, so a guard page stays a guard page.
+//
+// Placement is randomized (seeded) so that the surviving guard pages from
+// the constructor's allocate-then-free-a-subset dance end up scattered.
+package heap
+
+import (
+	"fmt"
+	"sort"
+
+	"r2c/internal/mem"
+	"r2c/internal/rng"
+)
+
+// MinAlign is the minimum alignment of returned chunks, matching glibc.
+const MinAlign = 16
+
+// Allocator manages a [base, limit) heap region inside a Space.
+type Allocator struct {
+	space *mem.Space
+	base  uint64
+	limit uint64
+	brk   uint64 // next fresh address
+	rnd   *rng.RNG
+
+	allocs map[uint64]uint64 // addr -> size of live allocations
+	free   []span            // sorted, coalesced free spans below brk
+	pages  map[uint64]int    // page number -> live allocation refcount
+
+	liveBytes  uint64
+	totalAlloc uint64
+	numAllocs  uint64
+	numFrees   uint64
+}
+
+type span struct{ addr, size uint64 }
+
+// New creates an allocator over [base, limit). base must be page-aligned.
+func New(space *mem.Space, base, limit uint64, r *rng.RNG) (*Allocator, error) {
+	if base&mem.PageMask != 0 {
+		return nil, fmt.Errorf("heap: base %#x not page aligned", base)
+	}
+	if limit <= base {
+		return nil, fmt.Errorf("heap: empty region [%#x,%#x)", base, limit)
+	}
+	return &Allocator{
+		space:  space,
+		base:   base,
+		limit:  limit,
+		brk:    base,
+		rnd:    r,
+		allocs: make(map[uint64]uint64),
+		pages:  make(map[uint64]int),
+	}, nil
+}
+
+// Alloc returns a 16-byte aligned chunk of at least size bytes.
+func (a *Allocator) Alloc(size uint64) (uint64, error) {
+	return a.AllocAligned(size, MinAlign)
+}
+
+// AllocAligned returns a chunk of at least size bytes whose address is a
+// multiple of align (a power of two, >= 16).
+func (a *Allocator) AllocAligned(size, align uint64) (uint64, error) {
+	if size == 0 {
+		size = MinAlign
+	}
+	if align < MinAlign || align&(align-1) != 0 {
+		return 0, fmt.Errorf("heap: bad alignment %d", align)
+	}
+	size = mem.AlignUp(size, MinAlign)
+
+	// First try the free list. To scatter allocations, pick uniformly among
+	// all fitting spans instead of first-fit.
+	if addr, ok := a.takeFromFreeList(size, align); ok {
+		a.commit(addr, size)
+		return addr, nil
+	}
+
+	// Fresh allocation from brk with a small random pre-gap, so consecutive
+	// fresh allocations are not byte-adjacent. The gap becomes free space.
+	gap := uint64(a.rnd.Intn(4)) * MinAlign
+	addr := mem.AlignUp(a.brk+gap, align)
+	end := addr + size
+	if end > a.limit {
+		return 0, fmt.Errorf("heap: out of memory (want %d bytes, brk %#x, limit %#x)", size, a.brk, a.limit)
+	}
+	if addr > a.brk {
+		a.insertFree(span{a.brk, addr - a.brk})
+	}
+	a.brk = end
+	a.commit(addr, size)
+	return addr, nil
+}
+
+func (a *Allocator) takeFromFreeList(size, align uint64) (uint64, bool) {
+	type fit struct {
+		idx  int
+		addr uint64
+	}
+	var fits []fit
+	for i, s := range a.free {
+		start := mem.AlignUp(s.addr, align)
+		if start+size <= s.addr+s.size {
+			fits = append(fits, fit{i, start})
+		}
+	}
+	if len(fits) == 0 {
+		return 0, false
+	}
+	f := fits[a.rnd.Intn(len(fits))]
+	s := a.free[f.idx]
+	a.free = append(a.free[:f.idx], a.free[f.idx+1:]...)
+	if f.addr > s.addr {
+		a.insertFree(span{s.addr, f.addr - s.addr})
+	}
+	if rest := (s.addr + s.size) - (f.addr + size); rest > 0 {
+		a.insertFree(span{f.addr + size, rest})
+	}
+	return f.addr, true
+}
+
+func (a *Allocator) insertFree(s span) {
+	if s.size == 0 {
+		return
+	}
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr >= s.addr })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = s
+	// Coalesce with neighbors.
+	if i+1 < len(a.free) && a.free[i].addr+a.free[i].size == a.free[i+1].addr {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].addr+a.free[i-1].size == a.free[i].addr {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// commit records the allocation and maps any pages it newly touches.
+func (a *Allocator) commit(addr, size uint64) {
+	a.allocs[addr] = size
+	a.liveBytes += size
+	a.totalAlloc += size
+	a.numAllocs++
+	first := addr >> mem.PageShift
+	last := (addr + size - 1) >> mem.PageShift
+	for p := first; p <= last; p++ {
+		a.pages[p]++
+		if a.pages[p] == 1 {
+			// Fresh page: map it RW. Map cannot fail here because the
+			// refcount says it is unmapped and the region is exclusive.
+			if err := a.space.Map(p<<mem.PageShift, mem.PageSize, mem.PermRW); err != nil {
+				panic(fmt.Sprintf("heap: internal map failure: %v", err))
+			}
+		}
+	}
+}
+
+// Free releases the chunk at addr. Freeing an unknown address is an error
+// (the simulated program is supposed to be memory-safe; attacker corruption
+// happens through the attack API, not through Free).
+func (a *Allocator) Free(addr uint64) error {
+	size, ok := a.allocs[addr]
+	if !ok {
+		return fmt.Errorf("heap: free of unknown chunk %#x", addr)
+	}
+	delete(a.allocs, addr)
+	a.liveBytes -= size
+	a.numFrees++
+	first := addr >> mem.PageShift
+	last := (addr + size - 1) >> mem.PageShift
+	for p := first; p <= last; p++ {
+		a.pages[p]--
+		if a.pages[p] == 0 {
+			delete(a.pages, p)
+			if err := a.space.Unmap(p<<mem.PageShift, mem.PageSize); err != nil {
+				panic(fmt.Sprintf("heap: internal unmap failure: %v", err))
+			}
+		}
+	}
+	a.insertFree(span{addr, size})
+	return nil
+}
+
+// Protect changes the permission of every page fully covered by the chunk at
+// addr. The BTDP constructor calls this with PermNone on page-aligned,
+// page-sized chunks to create guard pages.
+func (a *Allocator) Protect(addr uint64, perm mem.Perm) error {
+	size, ok := a.allocs[addr]
+	if !ok {
+		return fmt.Errorf("heap: protect of unknown chunk %#x", addr)
+	}
+	start := mem.AlignUp(addr, mem.PageSize)
+	end := mem.AlignDown(addr+size, mem.PageSize)
+	if end <= start {
+		return fmt.Errorf("heap: chunk %#x+%d covers no full page", addr, size)
+	}
+	return a.space.Protect(start, end-start, perm)
+}
+
+// SizeOf returns the size of the live chunk at addr.
+func (a *Allocator) SizeOf(addr uint64) (uint64, bool) {
+	s, ok := a.allocs[addr]
+	return s, ok
+}
+
+// Contains reports whether addr falls inside any live allocation.
+func (a *Allocator) Contains(addr uint64) bool {
+	// Linear probe over allocations is fine at simulation scale; tests and
+	// the attacker use it, the hot path (Alloc/Free) does not.
+	for base, size := range a.allocs {
+		if addr >= base && addr < base+size {
+			return true
+		}
+	}
+	return false
+}
+
+// Bounds returns the heap region [base, brk) currently in use.
+func (a *Allocator) Bounds() (base, brk uint64) { return a.base, a.brk }
+
+// Stats describes allocator usage.
+type Stats struct {
+	LiveBytes  uint64
+	LivePages  int
+	TotalAlloc uint64
+	NumAllocs  uint64
+	NumFrees   uint64
+}
+
+// Stats returns a snapshot of allocator counters.
+func (a *Allocator) Stats() Stats {
+	return Stats{
+		LiveBytes:  a.liveBytes,
+		LivePages:  len(a.pages),
+		TotalAlloc: a.totalAlloc,
+		NumAllocs:  a.numAllocs,
+		NumFrees:   a.numFrees,
+	}
+}

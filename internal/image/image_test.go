@@ -1,0 +1,313 @@
+package image
+
+import (
+	"reflect"
+	"testing"
+
+	"r2c/internal/codegen"
+	"r2c/internal/defense"
+	"r2c/internal/isa"
+	"r2c/internal/tir"
+)
+
+func testModule(t *testing.T) *tir.Module {
+	t.Helper()
+	mb := tir.NewModule("imgtest")
+	mb.AddGlobal("g1", 8, 0x11)
+	mb.AddGlobal("g2", 16, 0x22, 0x33)
+	mb.AddDefaultParam("dp", 9)
+	leaf := mb.NewFunc("leaf", 1)
+	l := leaf.NewLocal("x", 8)
+	a := leaf.AddrLocal(l)
+	leaf.Store(a, 0, leaf.Param(0))
+	leaf.Ret(leaf.Load(a, 0))
+	mb.AddFuncPtr("fp", "leaf")
+	main := mb.NewFunc("main", 0)
+	v := main.Const(3)
+	r := main.Call("leaf", v)
+	main.Output(r)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func link(t *testing.T, cfg defense.Config, seed uint64) *Image {
+	t.Helper()
+	p, err := codegen.Compile(testModule(t), cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Link(p, seed+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestLayoutBasics(t *testing.T) {
+	img := link(t, defense.Off(), 1)
+	if img.TextBase >= img.TextEnd || img.DataBase >= img.DataEnd {
+		t.Fatal("degenerate segments")
+	}
+	if img.TextEnd > img.DataBase || img.DataEnd > img.HeapBase || img.HeapEnd > img.StackLow {
+		t.Fatal("segments out of order")
+	}
+	// The data→heap gap must exceed the clustering threshold so value
+	// clustering can separate the regions.
+	if img.HeapBase-img.DataEnd < 16<<20 {
+		t.Errorf("data→heap gap too small: %#x", img.HeapBase-img.DataEnd)
+	}
+	if img.Entry != img.Funcs[EntrySym].Start {
+		t.Error("entry is not _start")
+	}
+}
+
+func TestInstructionAddressing(t *testing.T) {
+	img := link(t, defense.R2CFull(), 2)
+	for name, pf := range img.Funcs {
+		prev := pf.Start
+		for i := range pf.F.Instrs {
+			addr := pf.InstrAddrs[i]
+			if addr < pf.Start || addr >= pf.End {
+				t.Fatalf("%s instr %d at %#x outside [%#x,%#x)", name, i, addr, pf.Start, pf.End)
+			}
+			if i > 0 && addr <= prev {
+				t.Fatalf("%s instr %d not monotonically placed", name, i)
+			}
+			prev = addr
+			if img.Instrs[addr] != &pf.F.Instrs[i] {
+				t.Fatalf("%s instr table mismatch at %#x", name, addr)
+			}
+			if got := pf.InstrIndexAt(addr); got != i {
+				t.Fatalf("InstrIndexAt(%#x) = %d, want %d", addr, got, i)
+			}
+		}
+		if pf.InstrIndexAt(pf.Start+1) != -1 && pf.F.Instrs[0].EncodedSize() > 1 {
+			t.Fatalf("%s: mid-instruction address resolved", name)
+		}
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	img := link(t, defense.R2CFull(), 3)
+	for name, pf := range img.Funcs {
+		if got := img.FuncAt(pf.Start); got != pf {
+			t.Fatalf("FuncAt(start of %s) wrong", name)
+		}
+		if got := img.FuncAt(pf.End - 1); got != pf {
+			t.Fatalf("FuncAt(end of %s) wrong", name)
+		}
+	}
+	if img.FuncAt(img.TextBase-16) != nil {
+		t.Error("FuncAt resolved below text")
+	}
+	if img.FuncAt(img.TextEnd+0x10000) != nil {
+		t.Error("FuncAt resolved above text")
+	}
+}
+
+func TestReturnAddressGroundTruth(t *testing.T) {
+	img := link(t, defense.R2CFull(), 4)
+	if len(img.CallSiteRA) == 0 {
+		t.Fatal("no call sites recorded")
+	}
+	for id, ra := range img.CallSiteRA {
+		pf := img.FuncAt(ra)
+		if pf == nil {
+			t.Fatalf("site %d RA %#x not in text", id, ra)
+		}
+		// The RA must be the address right after a call instruction.
+		i := pf.InstrIndexAt(ra)
+		if i <= 0 {
+			t.Fatalf("site %d RA %#x not an instruction boundary", id, ra)
+		}
+		prev := &pf.F.Instrs[i-1]
+		if prev.Kind != isa.KCall && prev.Kind != isa.KCallInd {
+			t.Fatalf("site %d RA %#x does not follow a call (%v)", id, ra, prev.Kind)
+		}
+	}
+}
+
+func TestBTRAResolution(t *testing.T) {
+	img := link(t, defense.R2CPush(), 5)
+	found := 0
+	for _, name := range img.FuncOrder {
+		pf := img.Funcs[name]
+		for i := range pf.F.Instrs {
+			in := &pf.F.Instrs[i]
+			if in.Kind == isa.KPushImm && in.BTRA {
+				found++
+				if !img.IsBoobyTrapAddr(in.Imm) {
+					t.Fatalf("BTRA %#x does not point into a booby trap", in.Imm)
+				}
+				// It must resolve to an instruction boundary (executing it
+				// detonates cleanly).
+				bt := img.FuncAt(in.Imm)
+				if bt.InstrIndexAt(in.Imm) < 0 {
+					t.Fatalf("BTRA %#x lands mid-instruction", in.Imm)
+				}
+			}
+			if in.RetAddr && in.Kind == isa.KPushImm {
+				if in.Imm != img.CallSiteRA[in.CallSiteID] {
+					t.Fatalf("pre-pushed RA %#x != call site %d RA %#x",
+						in.Imm, in.CallSiteID, img.CallSiteRA[in.CallSiteID])
+				}
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no BTRA pushes found")
+	}
+}
+
+func TestAVXArrayResolution(t *testing.T) {
+	img := link(t, defense.R2CFull(), 6)
+	raSet := map[uint64]bool{}
+	for _, ra := range img.CallSiteRA {
+		raSet[ra] = true
+	}
+	arrays := 0
+	for _, b := range img.Prog.Blobs {
+		ds := img.DataSyms[b.Name]
+		if ds == nil || ds.Kind != DataBTRAArray {
+			t.Fatalf("array %s not placed as a BTRA array", b.Name)
+		}
+		arrays++
+		ras := 0
+		for i, w := range b.Words {
+			v, ok := img.DataInit[ds.Addr+uint64(i)*8]
+			if !ok {
+				t.Fatalf("array %s word %d not initialized", b.Name, i)
+			}
+			if w.RetAddr {
+				ras++
+				if !raSet[v] {
+					t.Fatalf("array %s RA word %#x is not a real RA", b.Name, v)
+				}
+			} else if !img.IsBoobyTrapAddr(v) {
+				t.Fatalf("array %s word %d (%#x) is not a booby trap", b.Name, i, v)
+			}
+		}
+		if ras != 1 {
+			t.Fatalf("array %s has %d RA words", b.Name, ras)
+		}
+	}
+	if arrays == 0 {
+		t.Fatal("no arrays found")
+	}
+}
+
+func TestShufflingDiversifies(t *testing.T) {
+	a := link(t, defense.R2CFull(), 7)
+	b := link(t, defense.R2CFull(), 8)
+	if reflect.DeepEqual(a.FuncOrder, b.FuncOrder) {
+		t.Error("function order identical across links")
+	}
+	if reflect.DeepEqual(a.DataOrder, b.DataOrder) {
+		t.Error("global order identical across links")
+	}
+	// Booby traps must be interspersed, not clumped at the end: at least
+	// one trap before the last regular function.
+	lastRegular := -1
+	firstTrap := -1
+	for i, name := range a.FuncOrder {
+		if a.Funcs[name].F.BoobyTrap {
+			if firstTrap == -1 {
+				firstTrap = i
+			}
+		} else {
+			lastRegular = i
+		}
+	}
+	if firstTrap == -1 || firstTrap > lastRegular {
+		t.Error("booby traps not distributed among regular functions")
+	}
+}
+
+func TestBaselineIsStableModuloASLR(t *testing.T) {
+	a := link(t, defense.Off(), 9)
+	b := link(t, defense.Off(), 10)
+	if !reflect.DeepEqual(a.FuncOrder, b.FuncOrder) {
+		t.Error("baseline function order changed across seeds (monoculture broken)")
+	}
+	// Relative offsets identical.
+	for name := range a.Funcs {
+		offA := a.Funcs[name].Start - a.TextBase
+		offB := b.Funcs[name].Start - b.TextBase
+		if offA != offB {
+			t.Errorf("%s: baseline offset differs (%#x vs %#x)", name, offA, offB)
+		}
+	}
+	if a.TextBase == b.TextBase {
+		t.Error("ASLR produced identical slides")
+	}
+}
+
+func TestFuncPtrGlobalResolution(t *testing.T) {
+	img := link(t, defense.Off(), 11)
+	ds := img.DataSyms["fp"]
+	v := img.DataInit[ds.Addr]
+	if v != img.Funcs["leaf"].Start {
+		t.Fatalf("fp = %#x, want leaf at %#x", v, img.Funcs["leaf"].Start)
+	}
+	// Under CPH it points at the trampoline instead.
+	img2 := link(t, defense.Readactor(), 11)
+	ds2 := img2.DataSyms["fp"]
+	v2 := img2.DataInit[ds2.Addr]
+	if v2 != img2.Funcs[codegen.TrampolineSym("leaf")].Start {
+		t.Fatalf("fp under CPH = %#x, want trampoline", v2)
+	}
+}
+
+func TestUnwindTable(t *testing.T) {
+	img := link(t, defense.R2CFull(), 12)
+	for i := 1; i < len(img.Unwind); i++ {
+		if img.Unwind[i].Start < img.Unwind[i-1].End {
+			t.Fatal("unwind entries overlap or are unsorted")
+		}
+	}
+	pf := img.Funcs["leaf"]
+	ue := img.UnwindAt(pf.Start + 5)
+	if ue == nil || ue.Start != pf.Start {
+		t.Fatalf("UnwindAt(leaf) = %+v", ue)
+	}
+	if img.UnwindAt(img.TextBase-100) != nil {
+		t.Error("UnwindAt resolved outside text")
+	}
+	// Booby traps and stubs carry no unwind info.
+	for _, ueX := range img.Unwind {
+		f := img.FuncAt(ueX.Start).F
+		if f.BoobyTrap || f.Stub {
+			t.Errorf("%s should not have unwind info", f.Name)
+		}
+	}
+}
+
+func TestDataSectionContents(t *testing.T) {
+	img := link(t, defense.R2CFull(), 13)
+	// Every configured BTDP decoy symbol must exist, plus the array
+	// pointer slot; padding appears between globals.
+	if _, ok := img.DataSyms[codegen.SymBTDPArrayPtr]; !ok {
+		t.Error("BTDP array pointer slot missing")
+	}
+	decoys, pads := 0, 0
+	for _, name := range img.DataOrder {
+		switch img.DataSyms[name].Kind {
+		case DataBTDPDecoy:
+			decoys++
+		case DataPad:
+			pads++
+		}
+	}
+	if decoys != img.Prog.Config.BTDPDataDecoys {
+		t.Errorf("decoys = %d, want %d", decoys, img.Prog.Config.BTDPDataDecoys)
+	}
+	if pads == 0 {
+		t.Error("no inter-global padding emitted")
+	}
+	// Global initializers land at the right addresses.
+	g2 := img.DataSyms["g2"]
+	if img.DataInit[g2.Addr] != 0x22 || img.DataInit[g2.Addr+8] != 0x33 {
+		t.Error("global initializer words wrong")
+	}
+}

@@ -1,0 +1,104 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEncodedSizesPositive(t *testing.T) {
+	for k := KMovImm; k <= KHalt; k++ {
+		in := Instr{Kind: k}
+		if in.EncodedSize() <= 0 {
+			t.Errorf("%v has non-positive size", k)
+		}
+		if in.EncodedSize() > 16 {
+			t.Errorf("%v has implausible size %d", k, in.EncodedSize())
+		}
+	}
+}
+
+func TestRelativeSizes(t *testing.T) {
+	// The i-cache model depends on these relations: a push-based BTRA setup
+	// occupies substantially more code bytes than the AVX2 sequence.
+	push := (&Instr{Kind: KPushImm}).EncodedSize()
+	vload := (&Instr{Kind: KVLoad}).EncodedSize()
+	vstore := (&Instr{Kind: KVStore}).EncodedSize()
+	vzero := (&Instr{Kind: KVZeroUpper}).EncodedSize()
+	// 10 BTRAs: push setup = 12 pushes + add; AVX = 3 loads + 3 stores +
+	// vzeroupper + sub.
+	pushBytes := 12*push + 4
+	avxBytes := 3*vload + 3*vstore + vzero + 4
+	if pushBytes <= avxBytes {
+		t.Fatalf("push setup (%dB) must outweigh AVX setup (%dB)", pushBytes, avxBytes)
+	}
+	if (&Instr{Kind: KNop}).EncodedSize() != 1 {
+		t.Error("NOP must be 1 byte")
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	if RSP.String() != "rsp" || RBP.String() != "rbp" || RAX.String() != "rax" {
+		t.Error("register names wrong")
+	}
+	if NumRegs != 16 {
+		t.Errorf("GPR file = %d, want 16", NumRegs)
+	}
+	if len(ArgRegs) != 6 {
+		t.Errorf("System V passes 6 register args, got %d", len(ArgRegs))
+	}
+	if ArgRegs[0] != RDI || ArgRegs[1] != RSI {
+		t.Error("arg register order is not System V")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Kind: KMovImm, Dst: RAX, Imm: 0x10}, "mov rax, 0x10"},
+		{Instr{Kind: KLoad, Dst: RBX, Base: RSP, Disp: 8}, "mov rbx, [rsp+8]"},
+		{Instr{Kind: KStore, Base: RSP, Disp: -8, Src: RCX}, "mov [rsp-8], rcx"},
+		{Instr{Kind: KPushImm, Sym: "__bt3", SymOff: 2, BTRA: true}, "push __bt3+2 <btra>"},
+		{Instr{Kind: KPushImm, RetAddr: true, CallSiteID: 7}, "push <ra:7>"},
+		{Instr{Kind: KCall, Sym: "main"}, "call main"},
+		{Instr{Kind: KCallInd, Src: R11}, "call *r11"},
+		{Instr{Kind: KRet}, "ret"},
+		{Instr{Kind: KAluImm, Alu: AluSub, Dst: RSP, Imm: 0x10}, "sub rsp, 0x10"},
+		{Instr{Kind: KVZeroUpper}, "vzeroupper"},
+		{Instr{Kind: KTrap}, "int3"},
+		{Instr{Kind: KSys, Sys: SysAlloc}, "sys alloc"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestIsControlTransfer(t *testing.T) {
+	for _, k := range []Kind{KCall, KCallInd, KRet, KJmp, KJz, KJnz} {
+		if !(&Instr{Kind: k}).IsControlTransfer() {
+			t.Errorf("%v should be a control transfer", k)
+		}
+	}
+	for _, k := range []Kind{KMovImm, KPush, KNop, KTrap, KSys} {
+		if (&Instr{Kind: k}).IsControlTransfer() {
+			t.Errorf("%v should not be a control transfer", k)
+		}
+	}
+}
+
+func TestEnumStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for k := KMovImm; k <= KHalt; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "kind?") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,402 @@
+// Package mem implements the simulated 64-bit address space that the whole
+// system runs on: the loader maps text/data segments into it, the runtime
+// allocates heap and stack from it, the VM fetches and executes code out of
+// it, and the attacker leaks and corrupts it.
+//
+// The model is a sparse map of 4 KiB pages, each with independent R/W/X
+// permissions. Two permission combinations matter for the paper:
+//
+//   - execute-only text (X without R), the leakage-resilience prerequisite
+//     R2C assumes (Section 3): instruction fetch succeeds, data reads fault;
+//   - unreadable guard pages (no permissions at all), which back BTDPs
+//     (Section 5.2): any access faults immediately, which is the reactive
+//     booby-trap signal.
+//
+// All multi-byte accesses are little-endian, matching x86_64.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Page geometry mirrors x86_64 4 KiB pages.
+const (
+	PageSize  = 4096
+	PageShift = 12
+	PageMask  = PageSize - 1
+)
+
+// WordSize is the machine word size in bytes (x86_64).
+const WordSize = 8
+
+// Perm is a page permission bit set.
+type Perm uint8
+
+const (
+	// PermRead allows data loads.
+	PermRead Perm = 1 << iota
+	// PermWrite allows data stores.
+	PermWrite
+	// PermExec allows instruction fetch.
+	PermExec
+
+	// PermNone marks a mapped but fully inaccessible page (a guard page).
+	PermNone Perm = 0
+	// PermRW is the usual data permission.
+	PermRW = PermRead | PermWrite
+	// PermRX is conventional text.
+	PermRX = PermRead | PermExec
+	// PermXOnly is execute-only text: fetchable, not readable. This is the
+	// execute-only memory R2C's threat model assumes for the text section.
+	PermXOnly = PermExec
+)
+
+// String renders the permission in the familiar rwx form.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// AccessKind says what kind of access caused a fault.
+type AccessKind int
+
+const (
+	// AccessRead is a data load.
+	AccessRead AccessKind = iota
+	// AccessWrite is a data store.
+	AccessWrite
+	// AccessExec is an instruction fetch.
+	AccessExec
+)
+
+func (a AccessKind) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return "unknown"
+}
+
+// Fault is the simulated SIGSEGV. The runtime's fault handler inspects it to
+// decide whether a booby trap fired (Section 4.2: "dereferencing a BTDP
+// causes an immediate fault, giving defenders a way to respond").
+type Fault struct {
+	Addr     uint64
+	Access   AccessKind
+	Unmapped bool // true: no page; false: permission violation
+	Perm     Perm // permissions of the page, when mapped
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	if f.Unmapped {
+		return fmt.Sprintf("segfault: %s of unmapped address %#x", f.Access, f.Addr)
+	}
+	return fmt.Sprintf("segfault: %s of %#x violates page permission %s", f.Access, f.Addr, f.Perm)
+}
+
+type page struct {
+	perm Perm
+	data []byte // lazily allocated on first write
+}
+
+// Space is a sparse simulated address space.
+type Space struct {
+	pages map[uint64]*page // keyed by page number (addr >> PageShift)
+
+	// RSS accounting (Section 6.2.5 reproduces both the maxrss and the
+	// sampled-RSS methodology). A page counts toward RSS once mapped.
+	rssPages    int
+	maxRSSPages int
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{pages: make(map[uint64]*page)}
+}
+
+// Map creates pages covering [addr, addr+size) with the given permissions.
+// addr and size must be page-aligned. Mapping an already-mapped page is an
+// error: segment placement bugs should fail loudly, not silently overlap.
+func (s *Space) Map(addr, size uint64, perm Perm) error {
+	if addr&PageMask != 0 || size&PageMask != 0 {
+		return fmt.Errorf("mem: unaligned map addr=%#x size=%#x", addr, size)
+	}
+	first, n := addr>>PageShift, size>>PageShift
+	for i := uint64(0); i < n; i++ {
+		if _, dup := s.pages[first+i]; dup {
+			return fmt.Errorf("mem: page %#x already mapped", (first+i)<<PageShift)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		s.pages[first+i] = &page{perm: perm}
+	}
+	s.rssPages += int(n)
+	if s.rssPages > s.maxRSSPages {
+		s.maxRSSPages = s.rssPages
+	}
+	return nil
+}
+
+// Unmap removes the pages covering [addr, addr+size).
+func (s *Space) Unmap(addr, size uint64) error {
+	if addr&PageMask != 0 || size&PageMask != 0 {
+		return fmt.Errorf("mem: unaligned unmap addr=%#x size=%#x", addr, size)
+	}
+	first, n := addr>>PageShift, size>>PageShift
+	for i := uint64(0); i < n; i++ {
+		if _, ok := s.pages[first+i]; !ok {
+			return fmt.Errorf("mem: unmap of unmapped page %#x", (first+i)<<PageShift)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		delete(s.pages, first+i)
+	}
+	s.rssPages -= int(n)
+	return nil
+}
+
+// Protect changes the permissions of the pages covering [addr, addr+size).
+// This is the simulated mprotect; the BTDP constructor uses it to revoke
+// read access from guard pages (Section 5.2).
+func (s *Space) Protect(addr, size uint64, perm Perm) error {
+	if addr&PageMask != 0 || size&PageMask != 0 {
+		return fmt.Errorf("mem: unaligned protect addr=%#x size=%#x", addr, size)
+	}
+	first, n := addr>>PageShift, size>>PageShift
+	for i := uint64(0); i < n; i++ {
+		if _, ok := s.pages[first+i]; !ok {
+			return fmt.Errorf("mem: protect of unmapped page %#x", (first+i)<<PageShift)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		s.pages[first+i].perm = perm
+	}
+	return nil
+}
+
+// IsMapped reports whether addr falls on a mapped page.
+func (s *Space) IsMapped(addr uint64) bool {
+	_, ok := s.pages[addr>>PageShift]
+	return ok
+}
+
+// PermAt returns the permissions of the page containing addr.
+func (s *Space) PermAt(addr uint64) (Perm, bool) {
+	p, ok := s.pages[addr>>PageShift]
+	if !ok {
+		return 0, false
+	}
+	return p.perm, true
+}
+
+func (s *Space) check(addr uint64, access AccessKind) (*page, error) {
+	p, ok := s.pages[addr>>PageShift]
+	if !ok {
+		return nil, &Fault{Addr: addr, Access: access, Unmapped: true}
+	}
+	var need Perm
+	switch access {
+	case AccessRead:
+		need = PermRead
+	case AccessWrite:
+		need = PermWrite
+	case AccessExec:
+		need = PermExec
+	}
+	if p.perm&need == 0 {
+		return nil, &Fault{Addr: addr, Access: access, Perm: p.perm}
+	}
+	return p, nil
+}
+
+func (p *page) ensure() []byte {
+	if p.data == nil {
+		p.data = make([]byte, PageSize)
+	}
+	return p.data
+}
+
+// Read copies len(buf) bytes starting at addr into buf, honoring page
+// permissions. A fault aborts the read; buf contents are then unspecified.
+func (s *Space) Read(addr uint64, buf []byte) error {
+	return s.access(addr, buf, AccessRead)
+}
+
+// Write copies buf into memory at addr, honoring page permissions.
+func (s *Space) Write(addr uint64, buf []byte) error {
+	return s.access(addr, buf, AccessWrite)
+}
+
+func (s *Space) access(addr uint64, buf []byte, kind AccessKind) error {
+	for done := 0; done < len(buf); {
+		p, err := s.check(addr, kind)
+		if err != nil {
+			return err
+		}
+		off := int(addr & PageMask)
+		n := PageSize - off
+		if rem := len(buf) - done; n > rem {
+			n = rem
+		}
+		data := p.ensure()
+		if kind == AccessWrite {
+			copy(data[off:off+n], buf[done:done+n])
+		} else {
+			copy(buf[done:done+n], data[off:off+n])
+		}
+		done += n
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Read64 loads a little-endian 64-bit word.
+func (s *Space) Read64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := s.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return le64(b[:]), nil
+}
+
+// Write64 stores a little-endian 64-bit word.
+func (s *Space) Write64(addr, v uint64) error {
+	var b [8]byte
+	put64(b[:], v)
+	return s.Write(addr, b[:])
+}
+
+// CheckExec verifies that addr is fetchable (mapped with PermExec).
+func (s *Space) CheckExec(addr uint64) error {
+	_, err := s.check(addr, AccessExec)
+	return err
+}
+
+// DebugRead reads memory ignoring permissions. It exists for test assertions
+// and human-readable dumps only; neither the VM nor the attacker uses it.
+func (s *Space) DebugRead(addr uint64, buf []byte) error {
+	for done := 0; done < len(buf); {
+		p, ok := s.pages[addr>>PageShift]
+		if !ok {
+			return &Fault{Addr: addr, Access: AccessRead, Unmapped: true}
+		}
+		off := int(addr & PageMask)
+		n := PageSize - off
+		if rem := len(buf) - done; n > rem {
+			n = rem
+		}
+		copy(buf[done:done+n], p.ensure()[off:off+n])
+		done += n
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// DebugRead64 is DebugRead for a single word.
+func (s *Space) DebugRead64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := s.DebugRead(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return le64(b[:]), nil
+}
+
+// Slab exposes the backing bytes and permission of the page containing
+// addr, for fast word access by the VM (which performs its own permission
+// checks and caches the slab in a software TLB). The returned slice aliases
+// page storage: callers must invalidate cached slabs after Unmap/Protect.
+func (s *Space) Slab(addr uint64) ([]byte, Perm, bool) {
+	p, ok := s.pages[addr>>PageShift]
+	if !ok {
+		return nil, 0, false
+	}
+	return p.ensure(), p.perm, true
+}
+
+// RSSPages returns the current resident page count.
+func (s *Space) RSSPages() int { return s.rssPages }
+
+// MaxRSSPages returns the peak resident page count — the simulated maxrss
+// rusage metric the paper's SPEC memory methodology reads (Section 6.2.5).
+func (s *Space) MaxRSSPages() int { return s.maxRSSPages }
+
+// RSSBytes returns the current resident set size in bytes.
+func (s *Space) RSSBytes() uint64 { return uint64(s.rssPages) * PageSize }
+
+// MaxRSSBytes returns the peak resident set size in bytes.
+func (s *Space) MaxRSSBytes() uint64 { return uint64(s.maxRSSPages) * PageSize }
+
+// Region describes one contiguous run of identically-permissioned pages.
+type Region struct {
+	Addr uint64
+	Size uint64
+	Perm Perm
+}
+
+// Regions returns the mapped regions sorted by address, coalescing adjacent
+// pages with identical permissions — the simulated /proc/self/maps.
+func (s *Space) Regions() []Region {
+	if len(s.pages) == 0 {
+		return nil
+	}
+	nums := make([]uint64, 0, len(s.pages))
+	for n := range s.pages {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	var out []Region
+	for _, n := range nums {
+		p := s.pages[n]
+		addr := n << PageShift
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.Addr+last.Size == addr && last.Perm == p.perm {
+				last.Size += PageSize
+				continue
+			}
+		}
+		out = append(out, Region{Addr: addr, Size: PageSize, Perm: p.perm})
+	}
+	return out
+}
+
+// AlignUp rounds v up to the next multiple of align (a power of two).
+func AlignUp(v, align uint64) uint64 {
+	return (v + align - 1) &^ (align - 1)
+}
+
+// AlignDown rounds v down to a multiple of align (a power of two).
+func AlignDown(v, align uint64) uint64 {
+	return v &^ (align - 1)
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func put64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,174 @@
+// Package mvee implements the Multi-Variant Execution Engine extension the
+// paper proposes in Section 7.3: "MVEEs and diversification defenses like
+// R2C naturally complement each other. Considering that R2C diversifies
+// along multiple dimensions, an MVEE would detect data corruption or
+// leakage in one of the variants with high probability."
+//
+// The engine builds N variants of one program — same source, same defense
+// configuration, different diversification seeds — and executes them in
+// lockstep, comparing their observable event streams (output words, halt
+// status, faults, booby traps). Because R2C diversification never changes
+// program semantics (the repository's differential property), benign runs
+// agree bit-for-bit; an attacker's memory corruption is address-dependent,
+// so it perturbs each variant differently and surfaces as divergence even
+// when it would be silent in a single process.
+package mvee
+
+import (
+	"fmt"
+
+	"r2c/internal/defense"
+	"r2c/internal/rt"
+	"r2c/internal/sim"
+	"r2c/internal/tir"
+	"r2c/internal/vm"
+)
+
+// Variant is one diversified instance under the engine.
+type Variant struct {
+	Seed uint64
+	Proc *rt.Process
+	Mach *vm.Machine
+}
+
+// Engine supervises N variants.
+type Engine struct {
+	Variants []*Variant
+	prof     *vm.Profile
+}
+
+// New builds n variants of module m under cfg with seeds baseSeed,
+// baseSeed+1, ...
+func New(m *tir.Module, cfg defense.Config, n int, baseSeed uint64, prof *vm.Profile) (*Engine, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("mvee: need at least two variants, got %d", n)
+	}
+	e := &Engine{prof: prof}
+	for i := 0; i < n; i++ {
+		proc, err := sim.Build(m, cfg, baseSeed+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("mvee: variant %d: %w", i, err)
+		}
+		e.Variants = append(e.Variants, &Variant{
+			Seed: baseSeed + uint64(i),
+			Proc: proc,
+			Mach: vm.New(proc, prof),
+		})
+	}
+	return e, nil
+}
+
+// Verdict is the engine's judgment of one supervised run.
+type Verdict struct {
+	// Diverged is true when the variants' observable behaviour differed —
+	// the MVEE's detection signal.
+	Diverged bool
+	// Reason describes the first divergence.
+	Reason string
+	// Trapped is true when any variant detonated a booby trap (the R2C
+	// reactive signal, which the MVEE also surfaces).
+	Trapped bool
+	// Results holds each variant's execution result.
+	Results []*vm.Result
+}
+
+// Detected reports whether the supervisor would raise an alarm.
+func (v *Verdict) Detected() bool { return v.Diverged || v.Trapped }
+
+// Run executes every variant to completion and compares event streams.
+// Lockstep scheduling is modeled by running each variant in bounded slices
+// round-robin, so a hung variant cannot stall the comparison forever.
+func (e *Engine) Run(sliceInstrs, maxSlices int) (*Verdict, error) {
+	if sliceInstrs <= 0 {
+		sliceInstrs = 200_000
+	}
+	if maxSlices <= 0 {
+		maxSlices = 10_000
+	}
+	v := &Verdict{Results: make([]*vm.Result, len(e.Variants))}
+	done := make([]bool, len(e.Variants))
+	for slice := 0; slice < maxSlices; slice++ {
+		allDone := true
+		for i, va := range e.Variants {
+			if done[i] {
+				continue
+			}
+			res, err := va.Mach.Run(uint64(sliceInstrs))
+			if err == vm.ErrInstructionBudget {
+				allDone = false
+				continue
+			}
+			if err != nil {
+				// Simulator-level error (e.g. the variant crashed into a
+				// division by zero only one layout reaches): a divergence.
+				v.Results[i] = res
+				done[i] = true
+				continue
+			}
+			v.Results[i] = res
+			done[i] = true
+		}
+		if allDone {
+			break
+		}
+	}
+	for i, r := range v.Results {
+		if r == nil {
+			return nil, fmt.Errorf("mvee: variant %d did not finish", i)
+		}
+		if r.Trap != nil {
+			v.Trapped = true
+		}
+	}
+
+	// Compare the event streams pairwise against variant 0.
+	base := v.Results[0]
+	for i, r := range v.Results[1:] {
+		if diff := compare(base, r); diff != "" {
+			v.Diverged = true
+			v.Reason = fmt.Sprintf("variant %d vs 0: %s", i+1, diff)
+			return v, nil
+		}
+	}
+	return v, nil
+}
+
+func compare(a, b *vm.Result) string {
+	if a.Halted != b.Halted {
+		return fmt.Sprintf("halt status %v vs %v", a.Halted, b.Halted)
+	}
+	if (a.Fault == nil) != (b.Fault == nil) {
+		return "one variant faulted"
+	}
+	if (a.Trap == nil) != (b.Trap == nil) {
+		return "one variant detonated a booby trap"
+	}
+	if a.ExitStatus != b.ExitStatus {
+		return fmt.Sprintf("exit status %d vs %d", a.ExitStatus, b.ExitStatus)
+	}
+	if len(a.Output) != len(b.Output) {
+		return fmt.Sprintf("output length %d vs %d", len(a.Output), len(b.Output))
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			return fmt.Sprintf("output word %d: %#x vs %#x", i, a.Output[i], b.Output[i])
+		}
+	}
+	return ""
+}
+
+// CorruptAll models an attacker whose malicious input induces the same
+// absolute-address write in every variant (the supervisor replicates
+// inputs, and a leaked address is only meaningful in the variant it leaked
+// from). Writes that fault in a variant are recorded as a pre-execution
+// perturbation of that variant rather than an error — the corruption lands
+// wherever the diversified layout puts that address.
+func (e *Engine) CorruptAll(addr, value uint64) {
+	for _, va := range e.Variants {
+		// Ignore errors: hitting an unmapped or protected page in some
+		// variant is exactly the asymmetry the MVEE later observes (the
+		// write simply has no effect there, or would have killed that
+		// variant — either way behaviour diverges).
+		_ = va.Proc.Space.Write64(addr, value)
+	}
+}

@@ -1,0 +1,116 @@
+package mvee
+
+import (
+	"testing"
+
+	"r2c/internal/attack"
+	"r2c/internal/defense"
+	"r2c/internal/vm"
+	"r2c/internal/workload"
+)
+
+func TestBenignRunAgrees(t *testing.T) {
+	// Differently-seeded R2C variants of a real workload must agree on
+	// every observable event — the precondition for MVEE supervision.
+	b, _ := workload.ByName("xz")
+	e, err := New(b.Build(8), defense.R2CFull(), 3, 11, vm.EPYCRome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Run(100_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Detected() {
+		t.Fatalf("benign run flagged: %+v", v.Reason)
+	}
+	if len(v.Results[0].Output) == 0 {
+		t.Fatal("no output compared")
+	}
+}
+
+func TestRequiresTwoVariants(t *testing.T) {
+	b, _ := workload.ByName("xz")
+	if _, err := New(b.Build(8), defense.Off(), 1, 1, vm.EPYCRome()); err == nil {
+		t.Fatal("single-variant engine accepted")
+	}
+}
+
+// TestCorruptionDiverges is the Section 7.3 claim: a memory corruption that
+// would succeed (or fail silently) in one process diverges under the MVEE
+// because the same absolute write lands differently in each variant.
+func TestCorruptionDiverges(t *testing.T) {
+	detected := 0
+	trials := 6
+	for seed := uint64(1); seed <= uint64(trials); seed++ {
+		e, err := New(attack.Victim(), defense.R2CFull(), 2, seed*100, vm.EPYCRome())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The attacker corrupts variant 0's secret_key and admin_ptr using
+		// variant-0 addresses (as a real exploit would after leaking them
+		// from that variant); the supervisor replicates the input-induced
+		// writes to every variant.
+		img := e.Variants[0].Proc.Img
+		key := img.DataSyms[attack.SymSecretKey]
+		admin := img.DataSyms[attack.SymAdminPtr]
+		secret := img.Funcs[attack.SymSecretFunc]
+		e.CorruptAll(key.Addr, attack.MagicArg)
+		e.CorruptAll(admin.Addr, secret.Start)
+
+		v, err := e.Run(100_000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Detected() {
+			detected++
+		} else if attack.HasWin(v.Results[0].Output) {
+			t.Errorf("seed %d: attack succeeded without MVEE detection", seed)
+		}
+	}
+	if detected < trials-1 {
+		t.Fatalf("MVEE detected only %d/%d corruption attempts", detected, trials)
+	}
+	t.Logf("MVEE detected %d/%d", detected, trials)
+}
+
+// TestSingleProcessAttackVsMVEE contrasts a single process, where the same
+// corruption wins outright.
+func TestSingleProcessAttackVsMVEE(t *testing.T) {
+	e, err := New(attack.Victim(), defense.Off(), 2, 300, vm.EPYCRome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := e.Variants[0].Proc.Img
+	key := img.DataSyms[attack.SymSecretKey]
+	admin := img.DataSyms[attack.SymAdminPtr]
+	secret := img.Funcs[attack.SymSecretFunc]
+
+	// Against variant 0 alone the attack wins...
+	_ = e.Variants[0].Proc.Space.Write64(key.Addr, attack.MagicArg)
+	_ = e.Variants[0].Proc.Space.Write64(admin.Addr, secret.Start)
+	res, err := e.Variants[0].Mach.Run(100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !attack.HasWin(res.Output) {
+		t.Fatal("direct corruption should win against a single unprotected process")
+	}
+	// ...but the second variant, fed the same writes, diverges.
+	_ = e.Variants[1].Proc.Space.Write64(key.Addr, attack.MagicArg)
+	_ = e.Variants[1].Proc.Space.Write64(admin.Addr, secret.Start)
+	res2, err := e.Variants[1].Mach.Run(100_000_000)
+	if err == nil && res2.Halted && res2.Fault == nil {
+		if len(res2.Output) == len(res.Output) {
+			same := true
+			for i := range res.Output {
+				if res.Output[i] != res2.Output[i] {
+					same = false
+				}
+			}
+			if same {
+				t.Fatal("variants agreed on a corrupted run — no divergence signal")
+			}
+		}
+	}
+}

@@ -1,0 +1,408 @@
+// Package rt is the process runtime: it loads a linked image into a fresh
+// address space (applying the execute-only text mapping), runs the BTDP
+// startup constructor (Section 5.2), services the VM's runtime calls
+// (malloc/free/output/exit), classifies faults as booby-trap detonations,
+// and implements the CFI-directive-driven stack unwinder (Section 7.2.4).
+package rt
+
+import (
+	"errors"
+	"fmt"
+
+	"r2c/internal/codegen"
+	"r2c/internal/defense"
+	"r2c/internal/heap"
+	"r2c/internal/image"
+	"r2c/internal/isa"
+	"r2c/internal/mem"
+	"r2c/internal/rng"
+)
+
+// TrapKind classifies a detonated booby trap.
+type TrapKind int
+
+const (
+	// TrapNone: the fault was not a booby trap (a plain crash).
+	TrapNone TrapKind = iota
+	// TrapBTRA: control flow reached a booby-trap function — an attacker
+	// followed or corrupted a return address into a BTRA (Section 4.1).
+	TrapBTRA
+	// TrapBTDP: a guard page was dereferenced — an attacker followed a
+	// booby-trapped data pointer (Section 4.2).
+	TrapBTDP
+	// TrapProlog: execution hit a prolog trap — an attacker miscomputed a
+	// gadget address from a leaked function pointer (Section 4.3).
+	TrapProlog
+	// TrapBTRACheck: a post-return BTRA consistency check failed — an
+	// attacker corrupted return-address candidates (the Section 7.3
+	// hardening against the crash side channel).
+	TrapBTRACheck
+	// TrapShadowStack: a RET consumed a return address that does not match
+	// the protected shadow copy — backward-edge CFI enforcement
+	// (Section 8.2).
+	TrapShadowStack
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapNone:
+		return "none"
+	case TrapBTRA:
+		return "btra"
+	case TrapBTDP:
+		return "btdp"
+	case TrapProlog:
+		return "prolog-trap"
+	case TrapBTRACheck:
+		return "btra-check"
+	case TrapShadowStack:
+		return "shadow-stack"
+	}
+	return "?"
+}
+
+// TrapEvent records one booby-trap detonation — the reactive signal a
+// monitoring system would act on.
+type TrapEvent struct {
+	Kind TrapKind
+	PC   uint64
+	Addr uint64 // faulting data address for TrapBTDP
+}
+
+// Process is a loaded program instance.
+type Process struct {
+	Img   *image.Image
+	Cfg   *defense.Config
+	Space *mem.Space
+	Heap  *heap.Allocator
+
+	// BTDP runtime state (ground truth for tests and the attack oracle).
+	GuardPages []uint64 // page-aligned addresses of kept guard pages
+	BTDPArray  uint64   // address of the pointer array (heap or data)
+	BTDPValues []uint64 // pointer values in the array
+	DecoyVals  []uint64 // decoy values placed in the data section
+
+	// Output collects SysOutput words — the observable behaviour that
+	// differential tests compare across defense configurations.
+	Output []uint64
+	// ExitStatus is set by SysExit.
+	ExitStatus uint64
+	// Traps records booby-trap detonations.
+	Traps []TrapEvent
+
+	// InitialRSP is the stack pointer at entry.
+	InitialRSP uint64
+
+	rnd *rng.RNG
+}
+
+// NewProcess maps the image and runs load-time initialization.
+func NewProcess(img *image.Image, seed uint64) (*Process, error) {
+	cfg := &img.Prog.Config
+	sp := mem.NewSpace()
+
+	textPerm := mem.PermRX
+	if cfg.XOnlyText {
+		textPerm = mem.PermXOnly
+	}
+	if err := sp.Map(mem.AlignDown(img.TextBase, mem.PageSize), mem.AlignUp(img.TextEnd, mem.PageSize)-mem.AlignDown(img.TextBase, mem.PageSize), textPerm); err != nil {
+		return nil, fmt.Errorf("rt: map text: %w", err)
+	}
+	if err := sp.Map(img.DataBase, img.DataEnd-img.DataBase, mem.PermRW); err != nil {
+		return nil, fmt.Errorf("rt: map data: %w", err)
+	}
+	if err := sp.Map(img.StackLow, img.StackHi-img.StackLow, mem.PermRW); err != nil {
+		return nil, fmt.Errorf("rt: map stack: %w", err)
+	}
+
+	r := rng.New(seed)
+	h, err := heap.New(sp, img.HeapBase, img.HeapEnd, r.Split())
+	if err != nil {
+		return nil, fmt.Errorf("rt: heap: %w", err)
+	}
+
+	p := &Process{Img: img, Cfg: cfg, Space: sp, Heap: h, rnd: r}
+
+	// Write the initialized data section.
+	for addr, w := range img.DataInit {
+		if err := sp.Write64(addr, w); err != nil {
+			return nil, fmt.Errorf("rt: data init at %#x: %w", addr, err)
+		}
+	}
+
+	// The stack pointer starts 16-byte aligned below the stack top, per
+	// the machine convention (body rsp % 16 == 0).
+	p.InitialRSP = mem.AlignDown(img.StackHi-64, 16)
+
+	if cfg.BTDP {
+		if err := p.runBTDPConstructor(); err != nil {
+			return nil, fmt.Errorf("rt: btdp constructor: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// runBTDPConstructor performs the startup sequence of Section 5.2: allocate
+// a batch of page-aligned, page-sized heap chunks; free all but a random
+// subset, leaving the survivors scattered across the heap; revoke their
+// read permission; and publish pointers to random offsets inside them.
+// In the hardened layout (Figure 5, right) the pointer array itself lives
+// on the heap and the data section holds only a pointer to it plus decoy
+// BTDPs; in the naive ablation the array sits in the data section.
+func (p *Process) runBTDPConstructor() error {
+	cfg := p.Cfg
+	if cfg.BTDPGuardPages <= 0 || cfg.BTDPScatterAllocs < cfg.BTDPGuardPages {
+		return fmt.Errorf("invalid BTDP page parameters (%d of %d)", cfg.BTDPGuardPages, cfg.BTDPScatterAllocs)
+	}
+
+	pages := make([]uint64, cfg.BTDPScatterAllocs)
+	for i := range pages {
+		a, err := p.Heap.AllocAligned(mem.PageSize, mem.PageSize)
+		if err != nil {
+			return err
+		}
+		pages[i] = a
+	}
+	keepIdx := p.rnd.Perm(len(pages))[:cfg.BTDPGuardPages]
+	kept := map[int]bool{}
+	for _, i := range keepIdx {
+		kept[i] = true
+	}
+	for i, a := range pages {
+		if !kept[i] {
+			if err := p.Heap.Free(a); err != nil {
+				return err
+			}
+		}
+	}
+	for _, i := range keepIdx {
+		p.GuardPages = append(p.GuardPages, pages[i])
+	}
+
+	// Pointer array: random offsets inside the guard pages. Offsets are
+	// word-aligned so the values look like ordinary object pointers.
+	p.BTDPValues = make([]uint64, cfg.BTDPArrayLen)
+	for i := range p.BTDPValues {
+		page := p.GuardPages[p.rnd.Intn(len(p.GuardPages))]
+		p.BTDPValues[i] = page + uint64(p.rnd.Intn(mem.PageSize/8))*8
+	}
+
+	if cfg.BTDPNaiveDataArray {
+		ds, ok := p.Img.DataSyms[codegen.SymBTDPArray]
+		if !ok {
+			return errors.New("naive BTDP array symbol missing")
+		}
+		p.BTDPArray = ds.Addr
+		for i, v := range p.BTDPValues {
+			if err := p.Space.Write64(ds.Addr+uint64(i)*8, v); err != nil {
+				return err
+			}
+		}
+	} else {
+		arr, err := p.Heap.Alloc(uint64(cfg.BTDPArrayLen) * 8)
+		if err != nil {
+			return err
+		}
+		p.BTDPArray = arr
+		for i, v := range p.BTDPValues {
+			if err := p.Space.Write64(arr+uint64(i)*8, v); err != nil {
+				return err
+			}
+		}
+		ds, ok := p.Img.DataSyms[codegen.SymBTDPArrayPtr]
+		if !ok {
+			return errors.New("BTDP array pointer symbol missing")
+		}
+		if err := p.Space.Write64(ds.Addr, arr); err != nil {
+			return err
+		}
+		// Decoy BTDPs in the data section: guard-page pointers that never
+		// occur in the array (and therefore never on the stack), so
+		// data-section/stack intersection cannot identify BTDPs.
+		inArray := map[uint64]bool{}
+		for _, v := range p.BTDPValues {
+			inArray[v] = true
+		}
+		for i := 0; i < cfg.BTDPDataDecoys; i++ {
+			name := fmt.Sprintf("%s%d", codegen.SymBTDPDecoyPrefix, i)
+			ds, ok := p.Img.DataSyms[name]
+			if !ok {
+				return fmt.Errorf("decoy symbol %s missing", name)
+			}
+			var v uint64
+			for {
+				page := p.GuardPages[p.rnd.Intn(len(p.GuardPages))]
+				v = page + uint64(p.rnd.Intn(mem.PageSize/8))*8
+				if !inArray[v] {
+					break
+				}
+			}
+			p.DecoyVals = append(p.DecoyVals, v)
+			if err := p.Space.Write64(ds.Addr, v); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Finally, revoke access: any dereference now faults immediately.
+	for _, pg := range p.GuardPages {
+		if err := p.Heap.Protect(pg, mem.PermNone); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsGuardAddr reports whether addr falls inside a BTDP guard page.
+func (p *Process) IsGuardAddr(addr uint64) bool {
+	page := mem.AlignDown(addr, mem.PageSize)
+	for _, g := range p.GuardPages {
+		if g == page {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassifyFault interprets a memory fault or trap location as a booby-trap
+// signal. A monitoring system (or the program's own handler) would use this
+// to respond to an ongoing attack (Section 4.2).
+func (p *Process) ClassifyFault(pc uint64, f *mem.Fault) TrapKind {
+	if f != nil && p.IsGuardAddr(f.Addr) {
+		return TrapBTDP
+	}
+	if p.Img.IsBoobyTrapAddr(pc) {
+		return TrapBTRA
+	}
+	if pf := p.Img.FuncAt(pc); pf != nil && !pf.F.BoobyTrap {
+		if in, ok := p.Img.Instrs[pc]; ok && in.Kind == isa.KTrap {
+			// A BTRA-tagged trap is a failed consistency check (Section
+			// 7.3); otherwise it is a prolog trap.
+			if in.BTRA {
+				return TrapBTRACheck
+			}
+			return TrapProlog
+		}
+	}
+	return TrapNone
+}
+
+// RecordTrap appends a trap event.
+func (p *Process) RecordTrap(ev TrapEvent) { p.Traps = append(p.Traps, ev) }
+
+// Frame is one unwound stack frame.
+type Frame struct {
+	PC       uint64 // return address (or initial pc for frame 0)
+	FuncName string
+	RAAddr   uint64 // address of the return-address slot
+}
+
+// Unwind walks the stack from a PC inside a function body and its
+// post-prologue stack pointer, driven by the emitted unwind metadata and
+// the per-call-site CFI adjustments — the mechanism that keeps exception
+// handling working despite BTRAs (Section 7.2.4). It returns the frames
+// from innermost to outermost, stopping at _start or after maxFrames.
+func (p *Process) Unwind(pc, rsp uint64, maxFrames int) ([]Frame, error) {
+	var frames []Frame
+	raBySite := p.Img.CallSiteRA
+	// Reverse map RA value -> call site (RA values are unique per site).
+	siteByRA := make(map[uint64]*codegen.CallSite)
+	for _, name := range p.Img.FuncOrder {
+		f := p.Img.Funcs[name].F
+		for i := range f.CallSites {
+			cs := &f.CallSites[i]
+			if ra, ok := raBySite[cs.ID]; ok {
+				siteByRA[ra] = cs
+			}
+		}
+	}
+
+	for len(frames) < maxFrames {
+		pf := p.Img.FuncAt(pc)
+		if pf == nil {
+			return frames, fmt.Errorf("rt: unwind: pc %#x not in any function", pc)
+		}
+		if pf.F.Name == image.EntrySym {
+			frames = append(frames, Frame{PC: pc, FuncName: pf.F.Name})
+			return frames, nil
+		}
+		ue := p.Img.UnwindAt(pc)
+		if ue == nil {
+			return frames, fmt.Errorf("rt: unwind: no unwind entry for %#x (%s)", pc, pf.F.Name)
+		}
+		raAddr := rsp + uint64(ue.FrameSize) + uint64(ue.NumSaves)*8 + uint64(ue.PostOffset)*8
+		ra, err := p.Space.Read64(raAddr)
+		if err != nil {
+			return frames, fmt.Errorf("rt: unwind: read RA at %#x: %w", raAddr, err)
+		}
+		frames = append(frames, Frame{PC: pc, FuncName: pf.F.Name, RAAddr: raAddr})
+
+		// Per-call-site CFI data: the caller's stack adjustments around
+		// this call (pre-offset, stack arguments, rbp save, padding).
+		site, ok := siteByRA[ra]
+		if !ok {
+			if p.Img.FuncAt(ra) != nil && p.Img.Funcs[image.EntrySym].Start <= ra && ra < p.Img.Funcs[image.EntrySym].End {
+				frames = append(frames, Frame{PC: ra, FuncName: image.EntrySym})
+				return frames, nil
+			}
+			return frames, fmt.Errorf("rt: unwind: RA %#x matches no call site", ra)
+		}
+		callerRsp := raAddr + 8 + uint64(site.Pre)*8
+		if site.StackArgs > 0 {
+			words := site.StackArgs
+			oia := p.Cfg.OIAEnabled()
+			if oia {
+				words++
+			}
+			if words%2 == 1 {
+				words++ // alignment pad
+			}
+			callerRsp += uint64(words) * 8
+		}
+		pc, rsp = ra, callerRsp
+	}
+	return frames, nil
+}
+
+// RerollBTRAs re-randomizes every call site's BTRA set in place — the
+// runtime support for the InsecureDynamicBTRAs ablation (Section 4.1
+// property B: "more dynamism is less effective"). Real return addresses
+// are left untouched; only decoy words in AVX arrays and push immediates
+// change.
+func (p *Process) RerollBTRAs(seed uint64) error {
+	r := rng.New(seed)
+	pool := p.Cfg.BTRAPoolSize
+	if pool <= 0 {
+		return errors.New("rt: no booby-trap pool")
+	}
+	freshAddr := func() uint64 {
+		name := codegen.BoobyTrapSym(r.Intn(pool))
+		pf := p.Img.Funcs[name]
+		return pf.Start + 4*uint64(r.Intn(codegen.TrapFuncLen))
+	}
+	// Push-mode immediates live in (execute-only) text: rewrite the
+	// instruction table.
+	for _, name := range p.Img.FuncOrder {
+		f := p.Img.Funcs[name].F
+		for i := range f.Instrs {
+			in := &f.Instrs[i]
+			if in.Kind == isa.KPushImm && in.BTRA {
+				v := freshAddr()
+				in.Imm = v
+				in.Target = v
+			}
+		}
+	}
+	// AVX-mode arrays live in the data section.
+	for _, b := range p.Img.Prog.Blobs {
+		ds := p.Img.DataSyms[b.Name]
+		for i, w := range b.Words {
+			if w.BTRA {
+				if err := p.Space.Write64(ds.Addr+uint64(i)*8, freshAddr()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package rt
+
+import (
+	"testing"
+
+	"r2c/internal/codegen"
+	"r2c/internal/defense"
+	"r2c/internal/image"
+	"r2c/internal/mem"
+	"r2c/internal/tir"
+)
+
+func buildProcess(t *testing.T, cfg defense.Config, seed uint64) *Process {
+	t.Helper()
+	mb := tir.NewModule("rttest")
+	mb.AddGlobal("g", 8, 42)
+	leaf := mb.NewFunc("leaf", 1)
+	l := leaf.NewLocal("x", 8)
+	a := leaf.AddrLocal(l)
+	leaf.Store(a, 0, leaf.Param(0))
+	leaf.Ret(leaf.Load(a, 0))
+	main := mb.NewFunc("main", 0)
+	v := main.Const(1)
+	r := main.Call("leaf", v)
+	main.Output(r)
+	main.RetVoid()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+
+	prog, err := codegen.Compile(m, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := image.Link(prog, seed+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProcess(img, seed+9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMemoryMapPermissions(t *testing.T) {
+	p := buildProcess(t, defense.R2CFull(), 1)
+	// Text is execute-only: fetch works, read faults.
+	if err := p.Space.CheckExec(p.Img.Entry); err != nil {
+		t.Fatalf("entry not executable: %v", err)
+	}
+	if _, err := p.Space.Read64(p.Img.Entry); err == nil {
+		t.Fatal("execute-only text is readable")
+	}
+	// Without XOnlyText the text is readable.
+	p2 := buildProcess(t, defense.Off(), 1)
+	if _, err := p2.Space.Read64(p2.Img.Entry); err != nil {
+		t.Fatalf("baseline text unreadable: %v", err)
+	}
+	// Data is initialized and readable.
+	g := p.Img.DataSyms["g"]
+	v, err := p.Space.Read64(g.Addr)
+	if err != nil || v != 42 {
+		t.Fatalf("global g = %d, %v", v, err)
+	}
+	// Stack is mapped and 16-byte aligned.
+	if p.InitialRSP%16 != 0 {
+		t.Fatalf("initial rsp %#x misaligned", p.InitialRSP)
+	}
+	if err := p.Space.Write64(p.InitialRSP-8, 1); err != nil {
+		t.Fatalf("stack unwritable: %v", err)
+	}
+}
+
+func TestBTDPConstructor(t *testing.T) {
+	p := buildProcess(t, defense.R2CFull(), 3)
+	cfg := p.Cfg
+	if len(p.GuardPages) != cfg.BTDPGuardPages {
+		t.Fatalf("guard pages = %d, want %d", len(p.GuardPages), cfg.BTDPGuardPages)
+	}
+	// Guard pages are page-aligned, protected, and scattered (not all
+	// contiguous).
+	contiguous := 0
+	seen := map[uint64]bool{}
+	for _, g := range p.GuardPages {
+		if g%mem.PageSize != 0 {
+			t.Fatalf("guard page %#x unaligned", g)
+		}
+		if seen[g] {
+			t.Fatalf("duplicate guard page %#x", g)
+		}
+		seen[g] = true
+		if _, err := p.Space.Read64(g); err == nil {
+			t.Fatalf("guard page %#x readable", g)
+		}
+		if seen[g-mem.PageSize] || seen[g+mem.PageSize] {
+			contiguous++
+		}
+	}
+	if contiguous == len(p.GuardPages) {
+		t.Error("guard pages are fully contiguous, not scattered")
+	}
+	// The pointer array lives on the heap (hardened layout) and every
+	// value points into a kept guard page.
+	hb, he := p.Heap.Bounds()
+	if p.BTDPArray < hb || p.BTDPArray >= he {
+		t.Fatalf("BTDP array at %#x not on the heap", p.BTDPArray)
+	}
+	if len(p.BTDPValues) != cfg.BTDPArrayLen {
+		t.Fatalf("array has %d values, want %d", len(p.BTDPValues), cfg.BTDPArrayLen)
+	}
+	for _, v := range p.BTDPValues {
+		if !p.IsGuardAddr(v) {
+			t.Fatalf("BTDP %#x not inside a guard page", v)
+		}
+	}
+	// The data section holds the array pointer.
+	ds := p.Img.DataSyms[codegen.SymBTDPArrayPtr]
+	got, err := p.Space.Read64(ds.Addr)
+	if err != nil || got != p.BTDPArray {
+		t.Fatalf("array pointer slot = %#x, want %#x (%v)", got, p.BTDPArray, err)
+	}
+	// Decoys point into guard pages but never occur in the array
+	// (Section 5.2: "these additional BTDPs never occur on the stack").
+	inArray := map[uint64]bool{}
+	for _, v := range p.BTDPValues {
+		inArray[v] = true
+	}
+	if len(p.DecoyVals) != cfg.BTDPDataDecoys {
+		t.Fatalf("decoys = %d, want %d", len(p.DecoyVals), cfg.BTDPDataDecoys)
+	}
+	for _, d := range p.DecoyVals {
+		if !p.IsGuardAddr(d) {
+			t.Fatalf("decoy %#x not a guard pointer", d)
+		}
+		if inArray[d] {
+			t.Fatalf("decoy %#x occurs in the BTDP array", d)
+		}
+	}
+}
+
+func TestNaiveBTDPArrayInData(t *testing.T) {
+	cfg := defense.R2CFull()
+	cfg.BTDPNaiveDataArray = true
+	p := buildProcess(t, cfg, 4)
+	ds := p.Img.DataSyms[codegen.SymBTDPArray]
+	if ds == nil {
+		t.Fatal("naive array symbol missing")
+	}
+	if p.BTDPArray != ds.Addr {
+		t.Fatalf("naive array at %#x, want data section %#x", p.BTDPArray, ds.Addr)
+	}
+	v, err := p.Space.Read64(ds.Addr)
+	if err != nil || !p.IsGuardAddr(v) {
+		t.Fatalf("naive array word 0 = %#x (%v)", v, err)
+	}
+}
+
+func TestClassifyFault(t *testing.T) {
+	p := buildProcess(t, defense.R2CFull(), 5)
+	// A BTDP dereference.
+	f := &mem.Fault{Addr: p.BTDPValues[0], Access: mem.AccessRead}
+	if k := p.ClassifyFault(p.Img.Entry, f); k != TrapBTDP {
+		t.Fatalf("guard fault classified as %v", k)
+	}
+	// Control flow in a booby-trap function.
+	var btAddr uint64
+	for _, name := range p.Img.FuncOrder {
+		if p.Img.Funcs[name].F.BoobyTrap {
+			btAddr = p.Img.Funcs[name].Start
+			break
+		}
+	}
+	if k := p.ClassifyFault(btAddr, nil); k != TrapBTRA {
+		t.Fatalf("booby trap pc classified as %v", k)
+	}
+	// A plain unmapped fault is no booby trap.
+	f2 := &mem.Fault{Addr: 0xdead0000, Access: mem.AccessWrite, Unmapped: true}
+	if k := p.ClassifyFault(p.Img.Entry, f2); k != TrapNone {
+		t.Fatalf("plain fault classified as %v", k)
+	}
+}
+
+func TestRerollBTRAsPreservesRAs(t *testing.T) {
+	p := buildProcess(t, defense.R2CPush(), 6)
+	type snap struct{ ras, btras []uint64 }
+	take := func() snap {
+		var s snap
+		for _, name := range p.Img.FuncOrder {
+			f := p.Img.Funcs[name].F
+			for i := range f.Instrs {
+				in := &f.Instrs[i]
+				if in.Kind != 0 && in.RetAddr {
+					s.ras = append(s.ras, in.Imm)
+				}
+				if in.BTRA {
+					s.btras = append(s.btras, in.Imm)
+				}
+			}
+		}
+		return s
+	}
+	before := take()
+	if err := p.RerollBTRAs(777); err != nil {
+		t.Fatal(err)
+	}
+	after := take()
+	for i := range before.ras {
+		if before.ras[i] != after.ras[i] {
+			t.Fatal("reroll changed a real return address")
+		}
+	}
+	changed := 0
+	for i := range before.btras {
+		if before.btras[i] != after.btras[i] {
+			changed++
+		}
+		if !p.Img.IsBoobyTrapAddr(after.btras[i]) {
+			t.Fatal("rerolled BTRA does not point into a booby trap")
+		}
+	}
+	if changed == 0 {
+		t.Fatal("reroll changed nothing")
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"r2c/internal/defense"
+	"r2c/internal/tir"
+	"r2c/internal/vm"
+)
+
+// boundaryModule is the Section 7.4.2 end-to-end case: unprotected code
+// calls protected stack-argument functions, directly and through a
+// callback pointer. Both of the paper's resolutions (downgrade, trampoline)
+// must preserve behaviour.
+func boundaryModule() *tir.Module {
+	mb := tir.NewModule("boundary-e2e")
+
+	wide := mb.NewFunc("wide8", 8)
+	acc := wide.Param(0)
+	for i := 1; i < 8; i++ {
+		acc = wide.Bin(tir.OpAdd, acc, wide.Param(i))
+	}
+	wide.Ret(acc)
+
+	cb := mb.NewFunc("callback7", 7)
+	x := cb.Bin(tir.OpXor, cb.Param(0), cb.Param(6))
+	y := cb.Bin(tir.OpAdd, x, cb.Param(3))
+	cb.Ret(y)
+	mb.AddFuncPtr("cb_ptr", "callback7")
+
+	lib := mb.NewFunc("libwrap", 1)
+	lib.Unprotected()
+	var args []tir.Reg
+	for i := 0; i < 8; i++ {
+		c := lib.Const(uint64(i + 1))
+		args = append(args, lib.Bin(tir.OpMul, lib.Param(0), c))
+	}
+	r := lib.Call("wide8", args...)
+	fpA := lib.AddrGlobal("cb_ptr")
+	fp := lib.Load(fpA, 0)
+	r2 := lib.CallIndirect(fp, args[:7]...)
+	lib.Ret(lib.Bin(tir.OpAdd, r, r2))
+
+	main := mb.NewFunc("main", 0)
+	v := main.Const(3)
+	main.Output(main.Call("libwrap", v))
+	var margs []tir.Reg
+	for i := 0; i < 8; i++ {
+		margs = append(margs, main.Const(uint64(i+10)))
+	}
+	main.Output(main.Call("wide8", margs...))
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func TestBoundaryCallsAcrossConfigs(t *testing.T) {
+	m := boundaryModule()
+	base, _, err := Run(m, defense.Off(), 1, vm.EPYCRome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed expectation: libwrap(3) = wide8(3,6,...,24) +
+	// callback7(3,6,...,21).
+	var ws uint64
+	for i := uint64(1); i <= 8; i++ {
+		ws += 3 * i
+	}
+	cbv := (uint64(3) ^ uint64(21)) + 12
+	if base.Output[0] != ws+cbv {
+		t.Fatalf("libwrap(3) = %d, want %d", base.Output[0], ws+cbv)
+	}
+
+	tramp := defense.R2CFull()
+	tramp.Name = "r2c-trampolines"
+	tramp.StackArgTrampolines = true
+	trampPush := defense.R2CPush()
+	trampPush.Name = "r2c-push-trampolines"
+	trampPush.StackArgTrampolines = true
+	for _, cfg := range []defense.Config{defense.R2CFull(), defense.R2CPush(), defense.OIAOnly(), tramp, trampPush} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			got, _, err := Run(m, cfg, seed, vm.EPYCRome())
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", cfg.Name, seed, err)
+			}
+			if !reflect.DeepEqual(got.Output, base.Output) {
+				t.Fatalf("%s seed %d: output %v, want %v", cfg.Name, seed, got.Output, base.Output)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"r2c/internal/defense"
+	"r2c/internal/tir"
+	"r2c/internal/vm"
+	"r2c/internal/workload"
+)
+
+// TestFuzzTextRoundTrip marshals random modules to the TIR text format,
+// re-parses them, and checks the reparsed program behaves identically —
+// fuzzing the parser/printer pair alongside the toolchain.
+func TestFuzzTextRoundTrip(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 5
+	}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		m1 := workload.Random(seed)
+		m2, err := tir.Parse(tir.Marshal(m1))
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		a, _, err := Run(m1, defense.Off(), seed, vm.EPYCRome())
+		if err != nil {
+			t.Fatalf("seed %d: original: %v", seed, err)
+		}
+		b, _, err := Run(m2, defense.R2CFull(), seed, vm.EPYCRome())
+		if err != nil {
+			t.Fatalf("seed %d: reparsed under R2C: %v", seed, err)
+		}
+		if !reflect.DeepEqual(a.Output, b.Output) {
+			t.Fatalf("seed %d: round-tripped module diverged", seed)
+		}
+	}
+}
+
+// TestFuzzDifferential is the toolchain fuzzer: random programs must behave
+// identically under every defense configuration.
+func TestFuzzDifferential(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	cfgs := []defense.Config{
+		defense.R2CFull(), defense.R2CPush(), defense.BTRAAVX512(),
+		defense.BTDPOnly(), defense.LayoutOnly(), defense.StackArmor(),
+		defense.Readactor(), defense.OIAOnly(),
+	}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		m := workload.Random(seed)
+		base, _, err := Run(m, defense.Off(), seed, vm.EPYCRome())
+		if err != nil {
+			t.Fatalf("seed %d baseline: %v", seed, err)
+		}
+		cfg := cfgs[int(seed)%len(cfgs)]
+		got, _, err := Run(m, cfg, seed+1000, vm.EPYCRome())
+		if err != nil {
+			t.Fatalf("seed %d %s: %v", seed, cfg.Name, err)
+		}
+		if !reflect.DeepEqual(base.Output, got.Output) {
+			t.Fatalf("seed %d %s: output diverged\n got %v\nwant %v",
+				seed, cfg.Name, got.Output, base.Output)
+		}
+	}
+}

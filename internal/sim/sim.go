@@ -1,0 +1,66 @@
+// Package sim wires the full toolchain together: compile a TIR module under
+// a defense configuration, link it with ASLR, load it into a fresh process,
+// and execute it on a machine profile. Everything downstream — workload
+// benchmarks, the attack framework, the examples — goes through these
+// helpers.
+package sim
+
+import (
+	"fmt"
+
+	"r2c/internal/codegen"
+	"r2c/internal/defense"
+	"r2c/internal/image"
+	"r2c/internal/rt"
+	"r2c/internal/tir"
+	"r2c/internal/vm"
+)
+
+// DefaultBudget is the per-run instruction budget; workloads are sized well
+// below it, so hitting it indicates a toolchain bug (e.g. a corrupted
+// return address looping forever).
+const DefaultBudget = 600_000_000
+
+// Build compiles, links and loads a module. The single seed drives compile-
+// time diversification, link-time layout (ASLR, shuffling) and load-time
+// randomness (BTDP placement); different seeds produce fully re-diversified
+// processes, like the paper's per-run recompilation with fresh seeds
+// (Section 6.2).
+func Build(m *tir.Module, cfg defense.Config, seed uint64) (*rt.Process, error) {
+	prog, err := codegen.Compile(m, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	img, err := image.Link(prog, seed*0x9e3779b97f4a7c15+1)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := rt.NewProcess(img, seed*0xbf58476d1ce4e5b9+2)
+	if err != nil {
+		return nil, err
+	}
+	return proc, nil
+}
+
+// Run builds and executes a module to completion on the given profile.
+func Run(m *tir.Module, cfg defense.Config, seed uint64, prof *vm.Profile) (*vm.Result, *rt.Process, error) {
+	proc, err := Build(m, cfg, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	mach := vm.New(proc, prof)
+	res, err := mach.Run(DefaultBudget)
+	if err != nil {
+		return res, proc, err
+	}
+	if res.Fault != nil {
+		return res, proc, fmt.Errorf("sim: run faulted: %v", res.Fault)
+	}
+	if res.Trap != nil {
+		return res, proc, fmt.Errorf("sim: booby trap fired at %#x (%v)", res.Trap.PC, res.Trap.Kind)
+	}
+	if !res.Halted {
+		return res, proc, fmt.Errorf("sim: did not halt")
+	}
+	return res, proc, nil
+}

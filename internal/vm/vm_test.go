@@ -1,0 +1,310 @@
+package vm_test
+
+import (
+	"errors"
+	"testing"
+
+	"r2c/internal/defense"
+	"r2c/internal/isa"
+	"r2c/internal/sim"
+	"r2c/internal/tir"
+	"r2c/internal/vm"
+)
+
+// smallModule: main computes via calls and loops, outputs a checksum.
+func smallModule() *tir.Module {
+	mb := tir.NewModule("vmtest")
+	sq := mb.NewFunc("sq", 1)
+	sq.Ret(sq.Bin(tir.OpMul, sq.Param(0), sq.Param(0)))
+	tail := mb.NewFunc("tail", 1)
+	tail.TailCall("sq", tail.Param(0))
+	main := mb.NewFunc("main", 0)
+	i := main.Const(0)
+	n := main.Const(20)
+	acc := main.Const(0)
+	head := main.NewBlock()
+	body := main.NewBlock()
+	done := main.NewBlock()
+	main.SetBlock(0)
+	main.Br(head)
+	main.SetBlock(head)
+	c := main.Bin(tir.OpLt, i, n)
+	main.CondBr(c, body, done)
+	main.SetBlock(body)
+	s := main.Call("sq", i)
+	tv := main.Call("tail", i)
+	main.BinTo(acc, tir.OpAdd, acc, s)
+	main.BinTo(acc, tir.OpXor, acc, tv)
+	one := main.Const(1)
+	main.BinTo(i, tir.OpAdd, i, one)
+	main.Br(head)
+	main.SetBlock(done)
+	main.Output(acc)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func TestRunToCompletion(t *testing.T) {
+	res, _, err := sim.Run(smallModule(), defense.Off(), 1, vm.EPYCRome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.Output) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Cycles <= 0 || res.Instructions == 0 {
+		t.Fatal("no cost accounted")
+	}
+}
+
+func TestCallCountingExcludesTailCalls(t *testing.T) {
+	res, _, err := sim.Run(smallModule(), defense.Off(), 1, vm.EPYCRome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per iteration: call sq + call tail (the tail->sq transfer is a jump).
+	// Plus _start's call to main and output/exit stubs? Output is a stub
+	// call per Output op. 20 iterations × (sq + tail) + main + output = 42.
+	want := uint64(20*2 + 1 + 1)
+	if res.Calls != want {
+		t.Fatalf("calls = %d, want %d (tail calls must not count)", res.Calls, want)
+	}
+}
+
+func TestPauseResumeEquivalence(t *testing.T) {
+	m := smallModule()
+	full, _, err := sim.Run(m, defense.R2CFull(), 3, vm.EPYCRome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same build, run in many small slices: identical totals.
+	proc, err := sim.Build(m, defense.R2CFull(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := vm.New(proc, vm.EPYCRome())
+	var res *vm.Result
+	for {
+		res, err = mach.Run(137)
+		if errors.Is(err, vm.ErrInstructionBudget) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if res.Instructions != full.Instructions {
+		t.Fatalf("sliced run: %d instructions, want %d", res.Instructions, full.Instructions)
+	}
+	if res.Cycles != full.Cycles {
+		t.Fatalf("sliced run: %v cycles, want %v", res.Cycles, full.Cycles)
+	}
+	if len(res.Output) != len(full.Output) || res.Output[0] != full.Output[0] {
+		t.Fatalf("sliced run output diverged")
+	}
+}
+
+func TestVZeroUpperAblation(t *testing.T) {
+	// Omitting vzeroupper must cost substantially more (Section 5.1.2:
+	// "without vzeroupper we observed a performance impact of up to 50%").
+	m := smallModule()
+	good, _, err := sim.Run(m, defense.BTRAAVXOnly(), 5, vm.I99900K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := defense.BTRAAVXOnly()
+	bad.OmitVZeroUpper = true
+	worse, _, err := sim.Run(m, bad, 5, vm.I99900K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse.Cycles <= good.Cycles*1.1 {
+		t.Fatalf("omitting vzeroupper cost only %.1f%% extra",
+			(worse.Cycles/good.Cycles-1)*100)
+	}
+}
+
+func TestStackAlignmentAtVectorStores(t *testing.T) {
+	// The AVX2 setup's vector stores execute without alignment faults on
+	// every seed — the invariant the alignment BTRA maintains (Section 5.1).
+	m := smallModule()
+	for seed := uint64(1); seed <= 12; seed++ {
+		if _, _, err := sim.Run(m, defense.BTRAAVXOnly(), seed, vm.EPYCRome()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDivisionByZeroIsAnError(t *testing.T) {
+	mb := tir.NewModule("divzero")
+	main := mb.NewFunc("main", 0)
+	a := main.Const(1)
+	z := main.Const(0)
+	d := main.Bin(tir.OpDiv, a, z)
+	main.Output(d)
+	main.RetVoid()
+	mb.SetEntry("main")
+	_, _, err := sim.Run(mb.MustBuild(), defense.Off(), 1, vm.EPYCRome())
+	if err == nil {
+		t.Fatal("division by zero did not error")
+	}
+}
+
+func TestExitStatus(t *testing.T) {
+	proc, err := sim.Build(smallModule(), defense.Off(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := vm.New(proc, vm.EPYCRome())
+	res, err := mach.Run(sim.DefaultBudget)
+	if err != nil || !res.Halted {
+		t.Fatalf("run: %v %+v", err, res)
+	}
+}
+
+func TestRSSSampling(t *testing.T) {
+	proc, err := sim.Build(smallModule(), defense.R2CFull(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := vm.New(proc, vm.EPYCRome())
+	mach.SampleEvery = 200
+	res, err := mach.Run(sim.DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RSSSamples) == 0 {
+		t.Fatal("no RSS samples")
+	}
+	if res.MaxRSSBytes == 0 {
+		t.Fatal("no maxrss")
+	}
+	for _, s := range res.RSSSamples {
+		if s > res.MaxRSSBytes {
+			t.Fatal("sample exceeds maxrss")
+		}
+	}
+}
+
+func TestICacheFlushCostsCycles(t *testing.T) {
+	m := smallModule()
+	build := func(flush uint64) *vm.Result {
+		proc, err := sim.Build(m, defense.Off(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach := vm.New(proc, vm.EPYCRome())
+		mach.FlushICacheEvery = flush
+		res, err := mach.Run(sim.DefaultBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	noFlush := build(0)
+	flushed := build(100)
+	if flushed.Cycles <= noFlush.Cycles {
+		t.Fatal("icache flushing did not cost cycles")
+	}
+	if flushed.ICacheMisses <= noFlush.ICacheMisses {
+		t.Fatal("icache flushing did not add misses")
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	m := smallModule()
+	var cycles []float64
+	for _, p := range vm.AllMachines() {
+		res, _, err := sim.Run(m, defense.R2CFull(), 6, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles = append(cycles, res.Cycles)
+		if res.Seconds(p) <= 0 {
+			t.Fatal("no wall-clock conversion")
+		}
+	}
+	same := true
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] != cycles[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("all machine profiles produced identical cycle counts")
+	}
+}
+
+// TestUnwinderWalksBTRAFrames pauses a run mid-call-chain and unwinds
+// through BTRA-instrumented frames — the Section 7.2.4 exception-handling
+// support.
+func TestUnwinderWalksBTRAFrames(t *testing.T) {
+	mb := tir.NewModule("unwind")
+	inner := mb.NewFunc("inner", 1)
+	{
+		l := inner.NewLocal("x", 8)
+		a := inner.AddrLocal(l)
+		inner.Store(a, 0, inner.Param(0))
+		// A long loop to pause inside.
+		i := inner.Const(0)
+		n := inner.Const(100000)
+		head := inner.NewBlock()
+		body := inner.NewBlock()
+		done := inner.NewBlock()
+		inner.SetBlock(0)
+		inner.Br(head)
+		inner.SetBlock(head)
+		c := inner.Bin(tir.OpLt, i, n)
+		inner.CondBr(c, body, done)
+		inner.SetBlock(body)
+		one := inner.Const(1)
+		inner.BinTo(i, tir.OpAdd, i, one)
+		inner.Br(head)
+		inner.SetBlock(done)
+		inner.Ret(inner.Load(a, 0))
+	}
+	mid := mb.NewFunc("mid", 1)
+	mid.Ret(mid.Call("inner", mid.Param(0)))
+	outer := mb.NewFunc("outer", 1)
+	outer.Ret(outer.Call("mid", outer.Param(0)))
+	main := mb.NewFunc("main", 0)
+	v := main.Const(9)
+	main.Output(main.Call("outer", v))
+	main.RetVoid()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+
+	for _, cfg := range []defense.Config{defense.Off(), defense.R2CFull(), defense.R2CPush()} {
+		proc, err := sim.Build(m, cfg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach := vm.New(proc, vm.EPYCRome())
+		if _, err := mach.Run(50_000); !errors.Is(err, vm.ErrInstructionBudget) {
+			t.Fatalf("%s: did not pause: %v", cfg.Name, err)
+		}
+		pc := mach.CPU.PC
+		if f := proc.Img.FuncAt(pc); f == nil || f.F.Name != "inner" {
+			t.Skipf("%s: paused in %v, not inner", cfg.Name, pc)
+		}
+		frames, err := proc.Unwind(pc, mach.CPU.R[isa.RSP], 10)
+		if err != nil {
+			t.Fatalf("%s: unwind: %v", cfg.Name, err)
+		}
+		var names []string
+		for _, fr := range frames {
+			names = append(names, fr.FuncName)
+		}
+		want := []string{"inner", "mid", "outer", "main", "_start"}
+		if len(names) != len(want) {
+			t.Fatalf("%s: frames = %v, want %v", cfg.Name, names, want)
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				t.Fatalf("%s: frames = %v, want %v", cfg.Name, names, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"r2c/internal/rng"
+	"r2c/internal/tir"
+)
+
+// Random generates a random but well-formed TIR program: a DAG of
+// functions with random bodies (ALU chains, locals, loads/stores, loops,
+// branches, direct/indirect/tail calls, heap use), every output fed by a
+// checksum. The differential fuzzer and the
+// codegen property tests feed on it: whatever the generator produces, every
+// defense configuration must preserve its behaviour and every structural
+// invariant must hold.
+func Random(seed uint64) *tir.Module {
+	r := rng.New(seed)
+	mb := tir.NewModule("fuzz")
+
+	nFuncs := r.IntRange(3, 8)
+	names := make([]string, nFuncs)
+	params := make([]int, nFuncs)
+	for i := range names {
+		names[i] = "f" + string(rune('a'+i))
+		params[i] = r.IntRange(1, 8) // up to two stack args
+	}
+	mb.AddGlobal("gdata", 32, r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+	mb.AddDefaultParam("gparam", r.Uint64())
+	mb.AddFuncPtr("gfp", names[0])
+
+	// Functions may call only earlier functions (acyclic except for a
+	// bounded self-recursion in f0).
+	for i := nFuncs - 1; i >= 0; i-- {
+		f := mb.NewFunc(names[i], params[i])
+		emitRandomBody(r, mb, f, names[:i], params[:i], params[i], i == 0)
+	}
+
+	main := mb.NewFunc("main", 0)
+	sz := main.Const(uint64(r.IntRange(1, 8)) * 64)
+	buf := main.Alloc(sz)
+	st := main.Const(r.Uint64() | 1)
+	chk := main.Const(0)
+	iters := uint64(r.IntRange(2, 6))
+	// A loop calling the top-level functions with evolving arguments.
+	i := main.Const(0)
+	n := main.Const(iters)
+	head := main.NewBlock()
+	body := main.NewBlock()
+	done := main.NewBlock()
+	main.SetBlock(0)
+	main.Br(head)
+	main.SetBlock(head)
+	c := main.Bin(tir.OpLt, i, n)
+	main.CondBr(c, body, done)
+	main.SetBlock(body)
+	for fi := nFuncs - 1; fi >= 0; fi-- {
+		args := make([]tir.Reg, params[fi])
+		for ai := range args {
+			switch r.Intn(3) {
+			case 0:
+				args[ai] = st
+			case 1:
+				args[ai] = chk
+			default:
+				args[ai] = main.Const(r.Uint64())
+			}
+		}
+		v := main.Call(names[fi], args...)
+		main.BinTo(chk, tir.OpXor, chk, v)
+	}
+	main.Store(buf, 0, chk)
+	ld := main.Load(buf, 0)
+	main.BinTo(chk, tir.OpAdd, chk, ld)
+	one := main.Const(1)
+	main.BinTo(i, tir.OpAdd, i, one)
+	main.Br(head)
+	main.SetBlock(done)
+	main.Output(chk)
+	main.Free(buf)
+	main.RetVoid()
+
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// emitRandomBody fills f with random straight-line work, an optional inner
+// loop, an optional call (direct, indirect, tail, or bounded recursion),
+// and returns a value derived from everything it computed.
+func emitRandomBody(r *rng.RNG, mb *tir.ModuleBuilder, f *tir.FuncBuilder, callees []string, calleeParams []int, nParams int, allowRecurse bool) {
+	acc := f.NewReg()
+	f.Mov(acc, f.Param(0))
+	for p := 1; p < nParams; p++ {
+		f.BinTo(acc, tir.OpXor, acc, f.Param(p))
+	}
+
+	// Locals.
+	var localAddrs []tir.Reg
+	for l := 0; l < r.Intn(3); l++ {
+		loc := f.NewLocal("l", uint64(r.IntRange(1, 4))*8)
+		a := f.AddrLocal(loc)
+		f.Store(a, 0, acc)
+		localAddrs = append(localAddrs, a)
+	}
+
+	// Straight-line ALU mix (division-free; the generator avoids UB).
+	ops := []tir.Op{tir.OpAdd, tir.OpSub, tir.OpMul, tir.OpAnd, tir.OpOr, tir.OpXor, tir.OpShl, tir.OpShr}
+	for k := 0; k < r.IntRange(2, 14); k++ {
+		c := f.Const(r.Uint64() | 1)
+		op := ops[r.Intn(len(ops))]
+		if op == tir.OpShl || op == tir.OpShr {
+			c = f.Const(uint64(r.Intn(31)))
+		}
+		f.BinTo(acc, op, acc, c)
+	}
+
+	// Global access.
+	if r.Bool() {
+		g := f.AddrGlobal("gdata")
+		v := f.Load(g, int64(r.Intn(4))*8)
+		f.BinTo(acc, tir.OpXor, acc, v)
+	}
+
+	// Optional inner loop.
+	if r.Bool() {
+		i := f.Const(0)
+		n := f.Const(uint64(r.IntRange(1, 12)))
+		pre := f.Block()
+		head := f.NewBlock()
+		body := f.NewBlock()
+		done := f.NewBlock()
+		f.SetBlock(pre)
+		f.Br(head)
+		f.SetBlock(head)
+		c := f.Bin(tir.OpLt, i, n)
+		f.CondBr(c, body, done)
+		f.SetBlock(body)
+		k := f.Const(0x9e3779b97f4a7c15)
+		f.BinTo(acc, tir.OpMul, acc, k)
+		one := f.Const(1)
+		f.BinTo(i, tir.OpAdd, i, one)
+		f.Br(head)
+		f.SetBlock(done)
+	}
+
+	// Read back a local.
+	if len(localAddrs) > 0 {
+		v := f.Load(localAddrs[r.Intn(len(localAddrs))], 0)
+		f.BinTo(acc, tir.OpAdd, acc, v)
+	}
+
+	// Optional call.
+	switch {
+	case allowRecurse && r.Intn(3) == 0:
+		// Structurally bounded self-recursion: the first parameter shrinks
+		// by four bits per level, so the depth is at most sixteen.
+		bound := f.Const(0xff)
+		deep := f.Bin(tir.OpGt, f.Param(0), bound)
+		pre := f.Block()
+		rec := f.NewBlock()
+		out := f.NewBlock()
+		f.SetBlock(pre)
+		f.CondBr(deep, rec, out)
+		f.SetBlock(rec)
+		four := f.Const(4)
+		dec := f.Bin(tir.OpShr, f.Param(0), four)
+		args := make([]tir.Reg, nParams)
+		for ai := range args {
+			args[ai] = dec
+		}
+		rv := f.Call("fa", args...)
+		f.BinTo(acc, tir.OpXor, acc, rv)
+		f.Br(out)
+		f.SetBlock(out)
+	case len(callees) > 0 && r.Bool():
+		ci := r.Intn(len(callees))
+		args := make([]tir.Reg, calleeParams[ci])
+		for ai := range args {
+			args[ai] = acc
+		}
+		if r.Intn(4) == 0 && calleeParams[ci] <= 6 {
+			f.TailCall(callees[ci], args...)
+			return
+		}
+		if r.Intn(3) == 0 {
+			fp := f.AddrFunc(callees[ci])
+			rv := f.CallIndirect(fp, args...)
+			f.BinTo(acc, tir.OpXor, acc, rv)
+		} else {
+			rv := f.Call(callees[ci], args...)
+			f.BinTo(acc, tir.OpXor, acc, rv)
+		}
+	}
+	f.Ret(acc)
+}

@@ -1,0 +1,321 @@
+package workload
+
+import (
+	"fmt"
+
+	"r2c/internal/tir"
+)
+
+// ballast allocates `pages` heap pages in main so the benchmark's resident
+// set approximates the original's working-set magnitude — the denominator
+// of the memory-overhead experiment (Section 6.2.5).
+func ballast(fb *tir.FuncBuilder, pages uint64) tir.Reg {
+	sz := fb.Const(pages * 4096)
+	return fb.Alloc(sz)
+}
+
+// Perlbench models 600.perlbench_s: a bytecode interpreter whose dispatch
+// loop calls opcode handlers through a function-pointer table — the
+// indirect-call-heavy profile of a language runtime.
+func Perlbench(scale int) *tir.Module {
+	const (
+		numOps     = 48
+		numHelpers = 12
+		progLen    = 512
+	)
+	dispatches := div(14_000, scale)
+
+	mb := tir.NewModule("perlbench")
+	helpers := leafFamily(mb, "ph", numHelpers, 10)
+
+	// Opcode handlers: two params (vm state value, operand), moderate
+	// work, roughly a third call a helper — averaging ~1.7 calls per
+	// dispatch including the dispatch itself.
+	for i := 0; i < numOps; i++ {
+		h := mb.NewFunc(fmt.Sprintf("op%d", i), 2)
+		loc := h.NewLocal("sv", 16)
+		a := h.AddrLocal(loc)
+		h.Store(a, 0, h.Param(0))
+		base := h.Load(a, 0)
+		x := h.Bin(tir.OpXor, base, h.Param(1))
+		x = burnALU(h, x, 8+i%7)
+		if i%3 == 0 {
+			x = h.Call(helpers[i%numHelpers], x)
+		}
+		h.Ret(x)
+	}
+	for i := 0; i < numOps; i++ {
+		mb.AddFuncPtr(fmt.Sprintf("optab%d", i), fmt.Sprintf("op%d", i))
+	}
+	mb.AddDefaultParam("perl_default_flags", 0x5a5a)
+
+	main := mb.NewFunc("main", 0)
+	bl := ballast(main, 16384) // ~64 MiB interpreter state
+	// Fill a bytecode program into the heap.
+	szr := main.Const(progLen * 8)
+	prog := main.Alloc(szr)
+	st := main.Const(0x243f6a8885a308d3)
+	Loop(main, 0, progLen, func(i tir.Reg) {
+		v := Xorshift(main, st)
+		c8 := main.Const(8)
+		off := main.Bin(tir.OpMul, i, c8)
+		slot := main.Bin(tir.OpAdd, prog, off)
+		main.Store(slot, 0, v)
+	})
+
+	// Copy the dispatch table to the heap once (the globals are shuffled
+	// in the data section, so the interpreter indexes a packed copy — the
+	// analogue of perl's op table).
+	tszr := main.Const(numOps * 8)
+	table := main.Alloc(tszr)
+	for op := 0; op < numOps; op++ {
+		a := main.AddrGlobal(fmt.Sprintf("optab%d", op))
+		fp := main.Load(a, 0)
+		main.Store(table, int64(op)*8, fp)
+	}
+
+	acc := main.Const(0)
+	pc := main.Const(0)
+	Loop(main, 0, dispatches, func(i tir.Reg) {
+		// Fetch opcode word.
+		mask := main.Const(progLen - 1)
+		idx := main.Bin(tir.OpAnd, pc, mask)
+		c8 := main.Const(8)
+		off := main.Bin(tir.OpMul, idx, c8)
+		slot := main.Bin(tir.OpAdd, prog, off)
+		word := main.Load(slot, 0)
+		// Computed-goto style dispatch through the packed table.
+		nOps := main.Const(numOps)
+		opIdx := main.Bin(tir.OpRem, word, nOps)
+		toff := main.Bin(tir.OpMul, opIdx, c8)
+		tslot := main.Bin(tir.OpAdd, table, toff)
+		handler := main.Load(tslot, 0)
+		r := main.CallIndirect(handler, acc, word)
+		main.Mov(acc, r)
+		// Interpreter bookkeeping between dispatches (stack/pad handling,
+		// refcounts) — the inline work that sets perl's call spacing.
+		burnTo(main, acc, 56)
+		one := main.Const(1)
+		main.BinTo(pc, tir.OpAdd, pc, one)
+	})
+	main.Free(table)
+	main.Output(acc)
+	main.Free(prog)
+	main.Free(bl)
+	main.RetVoid()
+
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// GCC models 602.gcc_s: a compiler pass pipeline sweeping an in-heap IR
+// buffer, calling per-node-kind visitors — many mid-sized functions, a
+// broad hot footprint, mostly direct calls.
+func GCC(scale int) *tir.Module {
+	const (
+		numVisitors = 28
+		nodes       = 620
+	)
+	passes := div(24, scale)
+
+	mb := tir.NewModule("gcc")
+	visitors := leafFamily(mb, "visit_", numVisitors, 12)
+	mb.AddDefaultParam("gcc_opt_level", 2)
+
+	// fold8 models the wide-signature helpers real compilers pass whole
+	// contexts to: eight parameters, two on the stack.
+	fold8 := mb.NewFunc("fold8", 8)
+	{
+		acc := fold8.Param(0)
+		for i := 1; i < 8; i++ {
+			if i%2 == 0 {
+				acc = fold8.Bin(tir.OpXor, acc, fold8.Param(i))
+			} else {
+				acc = fold8.Bin(tir.OpAdd, acc, fold8.Param(i))
+			}
+		}
+		fold8.Ret(acc)
+	}
+	_ = fold8
+
+	// A pass walks all nodes and dispatches on node kind with a direct
+	// call chain (the lowered form of a switch over tree codes).
+	pass := mb.NewFunc("run_pass", 2) // (irBuf, passSeed)
+	{
+		acc := pass.NewReg()
+		pass.Mov(acc, pass.Param(1))
+		Loop(pass, 0, nodes, func(i tir.Reg) {
+			c8 := pass.Const(8)
+			off := pass.Bin(tir.OpMul, i, c8)
+			slot := pass.Bin(tir.OpAdd, pass.Param(0), off)
+			kindWord := pass.Load(slot, 0)
+			nk := pass.Const(numVisitors)
+			kind := pass.Bin(tir.OpRem, kindWord, nk)
+			for v := 0; v < numVisitors; v++ {
+				cv := pass.Const(uint64(v))
+				eq := pass.Bin(tir.OpEq, kind, cv)
+				v := v
+				If(pass, eq, func() {
+					r := pass.Call(visitors[v], acc)
+					pass.BinTo(acc, tir.OpXor, acc, r)
+				})
+			}
+			// Constant folding over the node context on every 8th node.
+			c7f := pass.Const(7)
+			low := pass.Bin(tir.OpAnd, i, c7f)
+			z := pass.Const(0)
+			isFold := pass.Bin(tir.OpEq, low, z)
+			If(pass, isFold, func() {
+				f := pass.Call("fold8", acc, kindWord, kind, i, pass.Param(1), kindWord, acc, i)
+				pass.BinTo(acc, tir.OpAdd, acc, f)
+			})
+			pass.Store(slot, 0, acc)
+		})
+		pass.Ret(acc)
+	}
+
+	main := mb.NewFunc("main", 0)
+	bl := ballast(main, 24576) // ~96 MiB of IR
+	sz := main.Const(nodes * 8)
+	ir := main.Alloc(sz)
+	st := main.Const(0x13198a2e03707344)
+	Loop(main, 0, nodes, func(i tir.Reg) {
+		v := Xorshift(main, st)
+		c8 := main.Const(8)
+		off := main.Bin(tir.OpMul, i, c8)
+		slot := main.Bin(tir.OpAdd, ir, off)
+		main.Store(slot, 0, v)
+	})
+	sum := main.Const(0)
+	Loop(main, 0, passes, func(p tir.Reg) {
+		r := main.Call("run_pass", ir, p)
+		main.BinTo(sum, tir.OpAdd, sum, r)
+	})
+	main.Output(sum)
+	main.Free(ir)
+	main.Free(bl)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// MCF models 605.mcf_s: network-simplex style sweeps over an arc array with
+// a tiny reduced-cost kernel called per arc — very high call density over a
+// small hot footprint.
+func MCF(scale int) *tir.Module {
+	const arcs = 2400
+	iters := div(20, scale)
+
+	mb := tir.NewModule("mcf")
+	mb.AddDefaultParam("mcf_pricing_rule", 1)
+
+	reduced := mb.NewFunc("reduced_cost", 3) // (cost, potTail, potHead)
+	{
+		d := reduced.Bin(tir.OpSub, reduced.Param(1), reduced.Param(2))
+		rc := reduced.Bin(tir.OpAdd, reduced.Param(0), d)
+		reduced.Ret(burnALU(reduced, rc, 160))
+	}
+	pivot := mb.NewFunc("pivot", 2)
+	{
+		x := pivot.Bin(tir.OpXor, pivot.Param(0), pivot.Param(1))
+		pivot.Ret(burnALU(pivot, x, 12))
+	}
+
+	main := mb.NewFunc("main", 0)
+	bl := ballast(main, 20480) // ~80 MiB network
+	sz := main.Const(arcs * 24)
+	arr := main.Alloc(sz) // per arc: cost, potTail, potHead
+	st := main.Const(0xa4093822299f31d0)
+	Loop(main, 0, arcs, func(i tir.Reg) {
+		c24 := main.Const(24)
+		off := main.Bin(tir.OpMul, i, c24)
+		slot := main.Bin(tir.OpAdd, arr, off)
+		v := Xorshift(main, st)
+		main.Store(slot, 0, v)
+		v2 := Xorshift(main, st)
+		main.Store(slot, 8, v2)
+		v3 := Xorshift(main, st)
+		main.Store(slot, 16, v3)
+	})
+	best := main.Const(0)
+	Loop(main, 0, iters, func(it tir.Reg) {
+		Loop(main, 0, arcs, func(i tir.Reg) {
+			c24 := main.Const(24)
+			off := main.Bin(tir.OpMul, i, c24)
+			slot := main.Bin(tir.OpAdd, arr, off)
+			c := main.Load(slot, 0)
+			pt := main.Load(slot, 8)
+			ph := main.Load(slot, 16)
+			rc := main.Call("reduced_cost", c, pt, ph)
+			one := main.Const(1)
+			neg := main.Bin(tir.OpAnd, rc, one)
+			If(main, neg, func() {
+				p := main.Call("pivot", rc, best)
+				main.Mov(best, p)
+			})
+		})
+	})
+	main.Output(best)
+	main.Free(arr)
+	main.Free(bl)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// LBM models 619.lbm_s: a lattice-Boltzmann stencil — long pure-compute
+// sweeps with almost no calls (Table 2: 20.9 million vs tens of billions
+// elsewhere), so R2C's call-site instrumentation has nothing to amplify.
+func LBM(scale int) *tir.Module {
+	const cells = 4096
+	sweeps := div(40, scale)
+
+	mb := tir.NewModule("lbm")
+
+	sweep := mb.NewFunc("stream_collide", 2) // (grid, phase)
+	{
+		acc := sweep.NewReg()
+		sweep.Mov(acc, sweep.Param(1))
+		Loop(sweep, 1, cells-1, func(i tir.Reg) {
+			c8 := sweep.Const(8)
+			off := sweep.Bin(tir.OpMul, i, c8)
+			slot := sweep.Bin(tir.OpAdd, sweep.Param(0), off)
+			l := sweep.Load(slot, -8)
+			m := sweep.Load(slot, 0)
+			r := sweep.Load(slot, 8)
+			s := sweep.Bin(tir.OpAdd, l, r)
+			c3 := sweep.Const(3)
+			s3 := sweep.Bin(tir.OpMul, m, c3)
+			v := sweep.Bin(tir.OpAdd, s, s3)
+			c2 := sweep.Const(2)
+			v2 := sweep.Bin(tir.OpShr, v, c2)
+			sweep.Store(slot, 0, v2)
+			sweep.BinTo(acc, tir.OpXor, acc, v2)
+		})
+		sweep.Ret(acc)
+	}
+
+	main := mb.NewFunc("main", 0)
+	bl := ballast(main, 28672) // ~112 MiB lattice
+	sz := main.Const(cells * 8)
+	grid := main.Alloc(sz)
+	st := main.Const(0x452821e638d01377)
+	Loop(main, 0, cells, func(i tir.Reg) {
+		v := Xorshift(main, st)
+		c8 := main.Const(8)
+		off := main.Bin(tir.OpMul, i, c8)
+		slot := main.Bin(tir.OpAdd, grid, off)
+		main.Store(slot, 0, v)
+	})
+	chk := main.Const(0)
+	Loop(main, 0, sweeps, func(s tir.Reg) {
+		r := main.Call("stream_collide", grid, s)
+		main.BinTo(chk, tir.OpAdd, chk, r)
+	})
+	main.Output(chk)
+	main.Free(grid)
+	main.Free(bl)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}

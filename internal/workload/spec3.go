@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"fmt"
+
+	"r2c/internal/tir"
+)
+
+// Imagick models 638.imagick_s: an image-processing pipeline applying
+// per-row filter kernels — medium call density, compute-heavy callees.
+func Imagick(scale int) *tir.Module {
+	const (
+		rows   = 256
+		rowPx  = 12
+		numOps = 4
+	)
+	iters := div(20, scale)
+
+	mb := tir.NewModule("imagick")
+	mb.AddDefaultParam("magick_quality", 85)
+
+	// Four row kernels: blur, sharpen, levels, quantize.
+	for k := 0; k < numOps; k++ {
+		f := mb.NewFunc(fmt.Sprintf("rowop%d", k), 2) // (rowPtr, seed)
+		acc := f.NewReg()
+		f.Mov(acc, f.Param(1))
+		Loop(f, 0, rowPx, func(i tir.Reg) {
+			c8 := f.Const(8)
+			off := f.Bin(tir.OpMul, i, c8)
+			slot := f.Bin(tir.OpAdd, f.Param(0), off)
+			v := f.Load(slot, 0)
+			cK := f.Const(uint64(k)*0x1003 + 7)
+			v2 := f.Bin(tir.OpMul, v, cK)
+			c3 := f.Const(3)
+			v3 := f.Bin(tir.OpShr, v2, c3)
+			f.Store(slot, 0, v3)
+			f.BinTo(acc, tir.OpAdd, acc, v3)
+		})
+		f.Ret(acc)
+	}
+
+	main := mb.NewFunc("main", 0)
+	bl := ballast(main, 26624) // ~104 MiB image
+	sz := main.Const(rows * rowPx * 8)
+	img := main.Alloc(sz)
+	st := main.Const(0x3f84d5b5b5470917)
+	Loop(main, 0, rows*rowPx, func(i tir.Reg) {
+		v := Xorshift(main, st)
+		c8 := main.Const(8)
+		off := main.Bin(tir.OpMul, i, c8)
+		slot := main.Bin(tir.OpAdd, img, off)
+		main.Store(slot, 0, v)
+	})
+	chk := main.Const(0)
+	Loop(main, 0, iters, func(it tir.Reg) {
+		Loop(main, 0, rows, func(r tir.Reg) {
+			cRow := main.Const(rowPx * 8)
+			off := main.Bin(tir.OpMul, r, cRow)
+			row := main.Bin(tir.OpAdd, img, off)
+			for k := 0; k < numOps; k++ {
+				v := main.Call(fmt.Sprintf("rowop%d", k), row, chk)
+				main.BinTo(chk, tir.OpXor, chk, v)
+			}
+		})
+	})
+	main.Output(chk)
+	main.Free(img)
+	main.Free(bl)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// Leela models 641.leela_s: Monte-Carlo tree search — playouts of small
+// policy evaluations plus node allocation churn on the heap.
+func Leela(scale int) *tir.Module {
+	const movesPerPlayout = 32
+	playouts := div(780, scale)
+
+	mb := tir.NewModule("leela")
+	mb.AddDefaultParam("leela_visits", 3200)
+
+	policy := mb.NewFunc("policy_eval", 2) // (board, move)
+	{
+		loc := policy.NewLocal("feat", 8)
+		la := policy.AddrLocal(loc)
+		policy.Store(la, 0, policy.Param(0))
+		b := policy.Load(la, 0)
+		x := policy.Bin(tir.OpXor, b, policy.Param(1))
+		policy.Ret(burnALU(policy, x, 60))
+	}
+	_ = policy
+
+	playout := mb.NewFunc("playout", 1) // (seed) -> score
+	{
+		board := playout.NewReg()
+		playout.Mov(board, playout.Param(0))
+		score := playout.Const(0)
+		Loop(playout, 0, movesPerPlayout, func(mv tir.Reg) {
+			v := playout.Call("policy_eval", board, mv)
+			playout.BinTo(board, tir.OpAdd, board, v)
+			burnTo(playout, board, 12)
+			playout.BinTo(score, tir.OpXor, score, v)
+		})
+		playout.Ret(score)
+	}
+	_ = playout
+
+	main := mb.NewFunc("main", 0)
+	bl := ballast(main, 19456) // ~76 MiB tree
+	// Tree node churn: allocate a node per playout, free every other one.
+	chk := main.Const(0)
+	keepSlotSz := main.Const(8 * 64)
+	keep := main.Alloc(keepSlotSz)
+	st := main.Const(0x5dbe9028a5dcdf17)
+	Loop(main, 0, playouts, func(p tir.Reg) {
+		seed := Xorshift(main, st)
+		s := main.Call("playout", seed)
+		main.BinTo(chk, tir.OpXor, chk, s)
+		nodeSz := main.Const(48)
+		node := main.Alloc(nodeSz)
+		main.Store(node, 0, s)
+		c63 := main.Const(63)
+		idx := main.Bin(tir.OpAnd, p, c63)
+		c8 := main.Const(8)
+		off := main.Bin(tir.OpMul, idx, c8)
+		slot := main.Bin(tir.OpAdd, keep, off)
+		main.Store(slot, 0, node)
+		main.Free(node)
+	})
+	main.Output(chk)
+	main.Free(keep)
+	main.Free(bl)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// NAB models 644.nab_s: molecular dynamics force computation — pairwise
+// loops invoking a tiny distance/force kernel, producing by far the highest
+// call count in Table 2 (135 billion).
+func NAB(scale int) *tir.Module {
+	const atoms = 740
+	sweeps := div(1, scale) // pairwise loop is already ~273k calls
+
+	mb := tir.NewModule("nab")
+	mb.AddDefaultParam("nab_cutoff", 12)
+
+	// The force kernel takes the full parameter set a real MD kernel does
+	// (cutoff, well depth, radius, scaling, shift, exclusion mask, step):
+	// nine parameters, of which three travel on the stack — the case
+	// offset-invariant addressing exists for (Section 5.1.1).
+	force := mb.NewFunc("pair_force", 9) // (xi, xj, cutoff, eps, sigma, scale, shift, mask, step)
+	{
+		d := force.Bin(tir.OpSub, force.Param(0), force.Param(1))
+		d2 := force.Bin(tir.OpMul, d, d)
+		r := force.Bin(tir.OpShr, d2, force.Param(2))
+		e := force.Bin(tir.OpXor, force.Param(3), force.Param(4))
+		e2 := force.Bin(tir.OpAnd, e, force.Param(7))
+		s1 := force.Bin(tir.OpAdd, r, force.Param(5))
+		s2 := force.Bin(tir.OpSub, s1, force.Param(6))
+		s3 := force.Bin(tir.OpXor, s2, e2)
+		one := force.Bin(tir.OpOr, s3, force.Param(8))
+		force.Ret(one)
+	}
+	_ = force
+
+	main := mb.NewFunc("main", 0)
+	bl := ballast(main, 14336) // ~56 MiB trajectories
+	sz := main.Const(atoms * 8)
+	pos := main.Alloc(sz)
+	st := main.Const(0x801f2e2858efc166)
+	Loop(main, 0, atoms, func(i tir.Reg) {
+		v := Xorshift(main, st)
+		c8 := main.Const(8)
+		off := main.Bin(tir.OpMul, i, c8)
+		slot := main.Bin(tir.OpAdd, pos, off)
+		main.Store(slot, 0, v)
+	})
+	energy := main.Const(0)
+	cutoff := main.Const(7)
+	eps := main.Const(0x1234)
+	sigma := main.Const(0x77)
+	fscale := main.Const(0xff00)
+	shift := main.Const(3)
+	mask := main.Const(0xffff)
+	step := main.Const(0x10001)
+	Loop(main, 0, sweeps, func(s tir.Reg) {
+		Loop(main, 1, atoms, func(i tir.Reg) {
+			c8 := main.Const(8)
+			offI := main.Bin(tir.OpMul, i, c8)
+			slotI := main.Bin(tir.OpAdd, pos, offI)
+			xi := main.Load(slotI, 0)
+			LoopTo(main, 0, i, func(j tir.Reg) {
+				offJ := main.Bin(tir.OpMul, j, c8)
+				slotJ := main.Bin(tir.OpAdd, pos, offJ)
+				xj := main.Load(slotJ, 0)
+				f := main.Call("pair_force", xi, xj, cutoff, eps, sigma, fscale, shift, mask, step)
+				main.BinTo(energy, tir.OpAdd, energy, f)
+				// Integrator bookkeeping between kernel calls.
+				burnTo(main, energy, 30)
+			})
+		})
+	})
+	main.Output(energy)
+	main.Free(pos)
+	main.Free(bl)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// XZ models 657.xz_s: LZMA-style compression — a hash-chain match finder
+// with mostly inline work and occasional helper calls.
+func XZ(scale int) *tir.Module {
+	const words = 16384
+	passes := div(1, scale)
+
+	mb := tir.NewModule("xz")
+	mb.AddDefaultParam("xz_dict_mb", 64)
+
+	match := mb.NewFunc("find_match", 2) // (hash, word)
+	{
+		x := match.Bin(tir.OpXor, match.Param(0), match.Param(1))
+		match.Ret(burnALU(match, x, 36))
+	}
+	_ = match
+	encode := mb.NewFunc("range_encode", 2)
+	{
+		x := encode.Bin(tir.OpAdd, encode.Param(0), encode.Param(1))
+		encode.Ret(burnALU(encode, x, 44))
+	}
+	_ = encode
+
+	main := mb.NewFunc("main", 0)
+	bl := ballast(main, 32768) // ~128 MiB dictionary
+	sz := main.Const(words * 8)
+	buf := main.Alloc(sz)
+	st := main.Const(0x64a51195e0e3610d)
+	Loop(main, 0, words, func(i tir.Reg) {
+		v := Xorshift(main, st)
+		c8 := main.Const(8)
+		off := main.Bin(tir.OpMul, i, c8)
+		slot := main.Bin(tir.OpAdd, buf, off)
+		main.Store(slot, 0, v)
+	})
+	out := main.Const(0)
+	Loop(main, 0, passes, func(p tir.Reg) {
+		Loop(main, 0, words, func(i tir.Reg) {
+			c8 := main.Const(8)
+			off := main.Bin(tir.OpMul, i, c8)
+			slot := main.Bin(tir.OpAdd, buf, off)
+			w := main.Load(slot, 0)
+			// Inline rolling hash.
+			cMul := main.Const(0x9e3779b185ebca87)
+			h := main.Bin(tir.OpMul, w, cMul)
+			c29 := main.Const(29)
+			h2 := main.Bin(tir.OpShr, h, c29)
+			main.BinTo(out, tir.OpXor, out, h2)
+			// Call the match finder on every third word.
+			c3 := main.Const(3)
+			rem := main.Bin(tir.OpRem, i, c3)
+			z := main.Const(0)
+			isZero := main.Bin(tir.OpEq, rem, z)
+			If(main, isZero, func() {
+				m := main.Call("find_match", h2, w)
+				main.BinTo(out, tir.OpAdd, out, m)
+			})
+			// Emit a range-coded symbol every 16th word.
+			c15 := main.Const(15)
+			low := main.Bin(tir.OpAnd, i, c15)
+			isEmit := main.Bin(tir.OpEq, low, z)
+			If(main, isEmit, func() {
+				e := main.Call("range_encode", out, w)
+				main.BinTo(out, tir.OpXor, out, e)
+			})
+		})
+	})
+	main.Output(out)
+	main.Free(buf)
+	main.Free(bl)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"fmt"
+
+	"r2c/internal/tir"
+)
+
+// WebRequests is the default number of requests a webserver run serves.
+const WebRequests = 4000
+
+// Nginx models the nginx throughput benchmark of Section 6.2.4: an
+// event-loop server where each connection event runs a compact
+// parse→route→respond pipeline over a 64-byte page, with per-request buffer
+// churn on the heap. Throughput is requests per simulated second, so the
+// R2C overhead per request translates directly into the throughput deficit
+// the paper reports.
+func Nginx(scale int) *tir.Module {
+	return webserver("nginx", div(WebRequests, scale), false)
+}
+
+// Apache models the Apache benchmark: the same request semantics but a
+// deeper per-request handler chain (module hooks), i.e. more calls per
+// request — matching Apache's process/filter architecture.
+func Apache(scale int) *tir.Module {
+	return webserver("apache", div(WebRequests, scale), true)
+}
+
+func webserver(name string, requests uint64, handlerChain bool) *tir.Module {
+	const pageWords = 8 // the 64-byte page served by the benchmark
+
+	mb := tir.NewModule(name)
+	mb.AddGlobal("page64", pageWords*8,
+		0x3c68746d6c3e0a20, 0x7233632d70616765, 0x2e2e2e2e2e2e2e2e, 0x2e2e2e2e2e2e2e2e,
+		0x2e2e2e2e2e2e2e2e, 0x2e2e2e2e2e2e2e2e, 0x0a3c2f68746d6c3e, 0x0d0a0d0a00000000)
+	mb.AddDefaultParam("worker_connections", 1024)
+
+	// parse_request: scan the (synthetic) request buffer, extract a route
+	// hash — the header-parsing hot path.
+	parse := mb.NewFunc("parse_request", 1) // (reqBuf)
+	{
+		h := parse.Const(0xcbf29ce484222325)
+		Loop(parse, 0, 16, func(i tir.Reg) {
+			c8 := parse.Const(8)
+			off := parse.Bin(tir.OpMul, i, c8)
+			slot := parse.Bin(tir.OpAdd, parse.Param(0), off)
+			w := parse.Load(slot, 0)
+			parse.BinTo(h, tir.OpXor, h, w)
+			prime := parse.Const(0x100000001b3)
+			parse.BinTo(h, tir.OpMul, h, prime)
+		})
+		parse.Ret(h)
+	}
+	_ = parse
+
+	// route: map the hash to a location block.
+	route := mb.NewFunc("route", 1)
+	{
+		// Location matching: prefix comparisons over the location table.
+		v := burnALU(route, route.Param(0), 24)
+		c := route.Const(16)
+		route.Ret(route.Bin(tir.OpRem, v, c))
+	}
+	_ = route
+
+	// respond: copy the 64-byte page into the response buffer and checksum
+	// it (standing in for writev).
+	respond := mb.NewFunc("respond", 2) // (respBuf, loc)
+	{
+		pg := respond.AddrGlobal("page64")
+		sum := respond.NewReg()
+		respond.Mov(sum, respond.Param(1))
+		Loop(respond, 0, pageWords, func(i tir.Reg) {
+			c8 := respond.Const(8)
+			off := respond.Bin(tir.OpMul, i, c8)
+			src := respond.Bin(tir.OpAdd, pg, off)
+			dst := respond.Bin(tir.OpAdd, respond.Param(0), off)
+			w := respond.Load(src, 0)
+			respond.Store(dst, 0, w)
+			respond.BinTo(sum, tir.OpAdd, sum, w)
+		})
+		respond.Ret(sum)
+	}
+	_ = respond
+
+	// Apache-style module hooks: a chain of small filters per request.
+	var hooks []string
+	if handlerChain {
+		hooks = leafFamily(mb, "hook_", 2, 20)
+	}
+
+	// handle_conn: one connection event.
+	handle := mb.NewFunc("handle_conn", 2) // (reqBuf, respBuf)
+	{
+		h := handle.Call("parse_request", handle.Param(0))
+		// Header validation and keep-alive bookkeeping. Apache's
+		// process-per-connection model does substantially more per-request
+		// bookkeeping than nginx's event loop.
+		if handlerChain {
+			burnTo(handle, h, 110)
+		} else {
+			burnTo(handle, h, 40)
+		}
+		loc := handle.Call("route", h)
+		for _, hk := range hooks {
+			v := handle.Call(hk, loc)
+			handle.BinTo(loc, tir.OpXor, loc, v)
+			c4 := handle.Const(15)
+			handle.BinTo(loc, tir.OpAnd, loc, c4)
+		}
+		r := handle.Call("respond", handle.Param(1), loc)
+		handle.Ret(r)
+	}
+	_ = handle
+
+	main := mb.NewFunc("main", 0)
+	chk := main.Const(0)
+	st := main.Const(0xd1310ba698dfb5ac)
+	Loop(main, 0, requests, func(rq tir.Reg) {
+		// Per-request buffers, as nginx's pool allocator would churn.
+		rsz := main.Const(192)
+		req := main.Alloc(rsz)
+		rsz2 := main.Const(64)
+		resp := main.Alloc(rsz2)
+		Loop(main, 0, 16, func(i tir.Reg) {
+			v := Xorshift(main, st)
+			c8 := main.Const(8)
+			off := main.Bin(tir.OpMul, i, c8)
+			slot := main.Bin(tir.OpAdd, req, off)
+			main.Store(slot, 0, v)
+		})
+		r := main.Call("handle_conn", req, resp)
+		main.BinTo(chk, tir.OpXor, chk, r)
+		main.Free(req)
+		main.Free(resp)
+	})
+	main.Output(chk)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// BrowserScale generates a browser-sized synthetic module for the
+// scalability experiment (Section 6.3): numFuncs functions across deep call
+// chains, wide dispatch families and function-pointer tables. With the
+// default parameter it compiles to a module roughly three orders of
+// magnitude larger than the SPEC workloads, exercising the toolchain the
+// way WebKit/Chromium exercised the paper's compiler.
+func BrowserScale(numFuncs int) *tir.Module {
+	if numFuncs < 64 {
+		numFuncs = 64
+	}
+	mb := tir.NewModule(fmt.Sprintf("browser%d", numFuncs))
+	mb.AddDefaultParam("browser_flags", 1)
+
+	// A broad family of leaf functions...
+	nLeaves := numFuncs / 2
+	leaves := leafFamily(mb, "bl", nLeaves, 6)
+	// ...glued by mid-level functions calling a handful of leaves each...
+	nMids := numFuncs - nLeaves - 1
+	for i := 0; i < nMids; i++ {
+		f := mb.NewFunc(fmt.Sprintf("bm%d", i), 1)
+		v := f.Param(0)
+		for j := 0; j < 3; j++ {
+			v = f.Call(leaves[(i*3+j*7)%nLeaves], v)
+		}
+		f.Ret(v)
+	}
+
+	main := mb.NewFunc("main", 0)
+	chk := main.Const(0)
+	Loop(main, 0, 64, func(i tir.Reg) {
+		nm := main.Const(uint64(nMids))
+		which := main.Bin(tir.OpRem, i, nm)
+		// Exercise a rotating subset of the mid-level functions.
+		for k := 0; k < 4; k++ {
+			ck := main.Const(uint64(k * 13))
+			x := main.Bin(tir.OpAdd, which, ck)
+			r := main.Call(fmt.Sprintf("bm%d", k*17%nMids), x)
+			main.BinTo(chk, tir.OpXor, chk, r)
+		}
+	})
+	main.Output(chk)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}

@@ -1,0 +1,200 @@
+// Package workload provides the benchmark programs of the evaluation: a
+// synthetic stand-in for each C/C++ benchmark of SPEC CPU 2017 (Section
+// 6.2), the webserver workloads (Section 6.2.4), and a browser-scale module
+// for the scalability experiment (Section 6.3).
+//
+// SPEC CPU 2017 is proprietary, so each benchmark is replaced by a small
+// program with the same two overhead drivers the paper identifies
+// (Section 7.1): executed-call density (Table 2) and hot code footprint
+// (instruction-cache pressure). Each synthetic program also borrows the
+// original's structural character — perlbench dispatches bytecode through
+// function-pointer tables, omnetpp drains an event queue through virtual
+// handlers, nab runs tiny force kernels in pairwise loops, lbm is a nearly
+// call-free stencil, and so on. Call counts are proportional to Table 2 at
+// a fixed global scale (CallScale), so measured counts multiplied by the
+// inverse scale regenerate the table.
+package workload
+
+import (
+	"fmt"
+
+	"r2c/internal/tir"
+)
+
+// CallScale is the global factor between a benchmark's simulated call count
+// and the paper's Table 2 call count (median across inputs). Reported
+// counts are scaled back up by 1/CallScale.
+const CallScale = 2.0e-6
+
+// Benchmark describes one SPEC-like workload.
+type Benchmark struct {
+	Name string
+	// PaperCalls is the Table 2 median call frequency.
+	PaperCalls uint64
+	// Build constructs the program. scale divides the default iteration
+	// count: 1 = full calibrated size, larger values shrink the run (used
+	// by -short tests).
+	Build func(scale int) *tir.Module
+}
+
+// SPEC returns the twelve C/C++ benchmarks of SPEC CPU 2017 in Table 2
+// order.
+func SPEC() []Benchmark {
+	return []Benchmark{
+		{"perlbench", 9_435_182_963, Perlbench},
+		{"gcc", 7_471_474_392, GCC},
+		{"mcf", 38_657_893_688, MCF},
+		{"lbm", 20_906_700, LBM},
+		{"omnetpp", 23_536_583_520, Omnetpp},
+		{"xalancbmk", 12_430_137_048, Xalancbmk},
+		{"x264", 3_400_115_007, X264},
+		{"deepsjeng", 11_366_032_234, Deepsjeng},
+		{"imagick", 10_441_212_712, Imagick},
+		{"leela", 13_108_456_661, Leela},
+		{"nab", 135_237_228_510, NAB},
+		{"xz", 3_287_645_643, XZ},
+	}
+}
+
+// ByName returns the benchmark with the given name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range SPEC() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	switch name {
+	case "nginx":
+		return Benchmark{Name: "nginx", Build: Nginx}, true
+	case "apache":
+		return Benchmark{Name: "apache", Build: Apache}, true
+	}
+	return Benchmark{}, false
+}
+
+// div scales an iteration count down, keeping at least 1.
+func div(n uint64, scale int) uint64 {
+	if scale < 1 {
+		scale = 1
+	}
+	v := n / uint64(scale)
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// Loop emits for (i = lo; i < hi; i++) { body(i) } into fb and leaves the
+// builder positioned after the loop.
+func Loop(fb *tir.FuncBuilder, lo, hi uint64, body func(i tir.Reg)) {
+	n := fb.Const(hi)
+	LoopTo(fb, lo, n, body)
+}
+
+// LoopTo is Loop with a register upper bound.
+func LoopTo(fb *tir.FuncBuilder, lo uint64, hi tir.Reg, body func(i tir.Reg)) {
+	i := fb.Const(lo)
+	pre := fb.Block()
+	head := fb.NewBlock()
+	bodyB := fb.NewBlock()
+	done := fb.NewBlock()
+	fb.SetBlock(pre)
+	fb.Br(head)
+	fb.SetBlock(head)
+	c := fb.Bin(tir.OpLt, i, hi)
+	fb.CondBr(c, bodyB, done)
+	fb.SetBlock(bodyB)
+	body(i)
+	one := fb.Const(1)
+	fb.BinTo(i, tir.OpAdd, i, one)
+	fb.Br(head)
+	fb.SetBlock(done)
+}
+
+// If emits if (cond != 0) { then() } and continues after it.
+func If(fb *tir.FuncBuilder, cond tir.Reg, then func()) {
+	pre := fb.Block()
+	thenB := fb.NewBlock()
+	done := fb.NewBlock()
+	fb.SetBlock(pre)
+	fb.CondBr(cond, thenB, done)
+	fb.SetBlock(thenB)
+	then()
+	fb.Br(done)
+	fb.SetBlock(done)
+}
+
+// Xorshift emits an xorshift64 step on state (in place) and returns state.
+// Workloads use it as their deterministic PRNG.
+func Xorshift(fb *tir.FuncBuilder, state tir.Reg) tir.Reg {
+	c13 := fb.Const(13)
+	t := fb.Bin(tir.OpShl, state, c13)
+	fb.BinTo(state, tir.OpXor, state, t)
+	c7 := fb.Const(7)
+	t2 := fb.Bin(tir.OpShr, state, c7)
+	fb.BinTo(state, tir.OpXor, state, t2)
+	c17 := fb.Const(17)
+	t3 := fb.Bin(tir.OpShl, state, c17)
+	fb.BinTo(state, tir.OpXor, state, t3)
+	return state
+}
+
+// burnALU emits n dependent ALU operations on v and returns the result
+// register — pure compute between calls. The sequence is a proper mixer
+// (multiply / xor / add / xorshift), so the result stays uniformly
+// distributed: several workloads use burned values for dispatch indexing,
+// and a skewed distribution would collapse their hot code footprint.
+func burnALU(fb *tir.FuncBuilder, v tir.Reg, n int) tir.Reg {
+	acc := fb.NewReg()
+	fb.Mov(acc, v)
+	burnTo(fb, acc, n)
+	return acc
+}
+
+// leafFamily generates n small leaf functions named prefix0..prefixN-1,
+// each one parameter, each doing work ALU ops with a distinct constant mix
+// — the "many small hot functions" pattern that spreads the hot footprint
+// across the instruction cache. Each function keeps a small local scratch
+// slot, so it has a stack frame: BTDP instrumentation applies (Section 5.2
+// skips only functions without stack allocations) and stack-slot
+// randomization has something to shuffle.
+func leafFamily(mb *tir.ModuleBuilder, prefix string, n, work int) []string {
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		names[i] = name
+		f := mb.NewFunc(name, 1)
+		loc := f.NewLocal("scratch", 8)
+		a := f.AddrLocal(loc)
+		f.Store(a, 0, f.Param(0))
+		v := f.Load(a, 0)
+		c := f.Const(uint64(i)*0x85eb + 0x1d)
+		x := f.Bin(tir.OpXor, v, c)
+		r := burnALU(f, x, work)
+		f.Ret(r)
+	}
+	return names
+}
+
+// burnTo emits n dependent ALU ops folding into an existing accumulator
+// register — inline work between calls in a hot loop. Like burnALU it is a
+// mixer that preserves value uniformity.
+func burnTo(fb *tir.FuncBuilder, acc tir.Reg, n int) {
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			c := fb.Const(uint64(i)*0x9e3779b9 + 0xff51afd7ed558ccd)
+			fb.BinTo(acc, tir.OpMul, acc, c)
+		case 1:
+			c := fb.Const(uint64(i)<<9 | 0x55)
+			fb.BinTo(acc, tir.OpXor, acc, c)
+		case 2:
+			c := fb.Const(uint64(i)*0x2545 + 0x9)
+			fb.BinTo(acc, tir.OpAdd, acc, c)
+		case 3:
+			c := fb.Const(23)
+			t := fb.Bin(tir.OpShr, acc, c)
+			fb.BinTo(acc, tir.OpXor, acc, t)
+		}
+	}
+}

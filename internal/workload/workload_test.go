@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"r2c/internal/defense"
+	"r2c/internal/sim"
+	"r2c/internal/vm"
+)
+
+func testScale(t *testing.T) int {
+	if testing.Short() {
+		return 8
+	}
+	return 4
+}
+
+// TestSPECDifferential runs every SPEC workload under baseline and full R2C
+// (both setups) and checks that outputs match: diversification must never
+// change benchmark results.
+func TestSPECDifferential(t *testing.T) {
+	scale := testScale(t)
+	for _, b := range SPEC() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			m := b.Build(scale)
+			base, _, err := sim.Run(m, defense.Off(), 11, vm.EPYCRome())
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			if len(base.Output) == 0 {
+				t.Fatal("no output")
+			}
+			for _, cfg := range []defense.Config{defense.R2CFull(), defense.R2CPush()} {
+				got, _, err := sim.Run(m, cfg, 13, vm.EPYCRome())
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.Name, err)
+				}
+				if !reflect.DeepEqual(got.Output, base.Output) {
+					t.Errorf("%s: output diverged: %v vs %v", cfg.Name, got.Output, base.Output)
+				}
+			}
+		})
+	}
+}
+
+// TestWebserverDifferential does the same for the webserver workloads.
+func TestWebserverDifferential(t *testing.T) {
+	for _, name := range []string{"nginx", "apache"} {
+		b, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		m := b.Build(testScale(t) * 4)
+		base, _, err := sim.Run(m, defense.Off(), 3, vm.I99900K())
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		full, _, err := sim.Run(m, defense.R2CFull(), 5, vm.I99900K())
+		if err != nil {
+			t.Fatalf("%s full: %v", name, err)
+		}
+		if !reflect.DeepEqual(base.Output, full.Output) {
+			t.Errorf("%s: output diverged", name)
+		}
+	}
+}
+
+// TestCallCountsTrackTable2 verifies that the measured executed-call counts
+// are proportional to the paper's Table 2 within a reasonable tolerance:
+// the Table 2 experiment depends on this proportionality.
+func TestCallCountsTrackTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run")
+	}
+	for _, b := range SPEC() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res, _, err := sim.Run(b.Build(1), defense.Off(), 1, vm.EPYCRome())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := float64(b.PaperCalls) * CallScale
+			got := float64(res.Calls)
+			ratio := got / want
+			// lbm's call count is tiny; allow it a wider band.
+			lo, hi := 0.5, 2.0
+			if b.Name == "lbm" {
+				lo, hi = 0.3, 4.0
+			}
+			if ratio < lo || ratio > hi {
+				t.Errorf("calls = %v, want ≈ %.0f (ratio %.2f, log2 %.2f)",
+					res.Calls, want, ratio, math.Log2(ratio))
+			}
+		})
+	}
+}
+
+// TestBrowserScaleCompiles is the Section 6.3 scalability check at test
+// size; the bench harness uses a larger module.
+func TestBrowserScaleCompiles(t *testing.T) {
+	m := BrowserScale(512)
+	base, _, err := sim.Run(m, defense.Off(), 2, vm.Xeon8358())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := sim.Run(m, defense.R2CFull(), 2, vm.Xeon8358())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Output, full.Output) {
+		t.Error("browser-scale output diverged")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("omnetpp"); !ok {
+		t.Error("omnetpp not found")
+	}
+	if _, ok := ByName("nginx"); !ok {
+		t.Error("nginx not found")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("nonexistent benchmark found")
+	}
+}
