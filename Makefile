@@ -1,0 +1,31 @@
+# Convenience targets for the usual development loop. Everything is
+# stdlib-only Go; no target needs the network.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The telemetry registry is the only concurrently-updated state; its tests
+# exercise it under the race detector.
+test-race:
+	$(GO) test -race ./internal/telemetry/ ./internal/sim/
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# The tier-1 gate: what CI runs.
+check: build vet test
+
+clean:
+	$(GO) clean ./...

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	r2cattack [-trials N] <table3|prob|sidechannel|ablations|aocr|all>
+//	r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] <table3|prob|sidechannel|ablations|aocr|all>
 package main
 
 import (
@@ -19,14 +19,21 @@ import (
 	"r2c/internal/bench"
 	"r2c/internal/defense"
 	"r2c/internal/mvee"
+	"r2c/internal/telemetry"
 	"r2c/internal/vm"
 )
+
+// allExperiments is the order `all` runs them; it doubles as the known-name
+// list for upfront validation.
+var allExperiments = []string{"table3", "prob", "sidechannel", "sidechannel-hardened", "bruteforce", "ablations", "aocr", "mvee"}
 
 func main() {
 	trials := flag.Int("trials", 10, "Monte-Carlo trials per defense/attack cell")
 	overheads := flag.Bool("overheads", false, "also measure Table 3 overhead column (slow)")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (probe/detection/outcome counters) to FILE on exit")
+	traceOut := flag.String("trace", "", "stream structured events (traps, faults, probes, outcomes) to FILE as JSONL")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r2cattack [-trials N] <table3|prob|sidechannel|sidechannel-hardened|ablations|aocr|mvee|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] <table3|prob|sidechannel|sidechannel-hardened|ablations|aocr|mvee|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,9 +41,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opt := bench.Options{Scale: 4, Runs: 1, Out: os.Stdout}
+
+	names := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		names = allExperiments
+	} else if !known(flag.Arg(0)) {
+		fmt.Fprintf(os.Stderr, "r2cattack: unknown experiment %q\nknown experiments: all", flag.Arg(0))
+		for _, n := range allExperiments {
+			fmt.Fprintf(os.Stderr, " %s", n)
+		}
+		fmt.Fprintf(os.Stderr, "\n")
+		os.Exit(2)
+	}
+
+	sinks, err := telemetry.OpenSinks(*metricsOut, *traceOut, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
+		os.Exit(1)
+	}
+	opt := bench.Options{Scale: 4, Runs: 1, Out: os.Stdout, Obs: sinks.Obs}
 
 	run := func(name string) error {
+		defer sinks.Obs.Timer("attack.experiment", "name", name).Time()()
 		switch name {
 		case "table3":
 			_, err := bench.Table3(opt, *trials, *overheads)
@@ -50,27 +76,37 @@ func main() {
 		case "ablations":
 			return ablations()
 		case "aocr":
-			return aocrDemo()
+			return aocrDemo(sinks.Obs)
 		case "mvee":
 			return mveeDemo()
 		case "sidechannel-hardened":
-			return sideChannelHardened()
+			return sideChannelHardened(sinks.Obs)
 		case "bruteforce":
 			return bruteforce()
 		}
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 
-	names := []string{flag.Arg(0)}
-	if flag.Arg(0) == "all" {
-		names = []string{"table3", "prob", "sidechannel", "sidechannel-hardened", "bruteforce", "ablations", "aocr", "mvee"}
-	}
 	for _, n := range names {
 		if err := run(n); err != nil {
+			sinks.Close()
 			fmt.Fprintf(os.Stderr, "r2cattack %s: %v\n", n, err)
 			os.Exit(1)
 		}
 	}
+	if err := sinks.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func known(name string) bool {
+	for _, n := range allExperiments {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // mveeDemo runs the Section 7.3 MVEE extension: two R2C variants in
@@ -104,14 +140,14 @@ func mveeDemo() error {
 
 // sideChannelHardened reruns the Section 7.3 side channel against the
 // proposed BTRA consistency checks.
-func sideChannelHardened() error {
+func sideChannelHardened(obs *telemetry.Observer) error {
 	cfg := defense.R2CFull()
 	cfg.Name = "r2c-btra-checks"
 	cfg.CheckBTRAsOnReturn = true
 	detections := 0
 	trials := 30
 	for seed := uint64(1); seed <= uint64(trials); seed++ {
-		s, err := attack.NewScenario(cfg, seed)
+		s, err := attack.NewScenarioObserved(cfg, seed, obs)
 		if err != nil {
 			return err
 		}
@@ -159,12 +195,12 @@ func bruteforce() error {
 
 // aocrDemo narrates one full AOCR attack against the unprotected baseline
 // and against full R2C.
-func aocrDemo() error {
+func aocrDemo(obs *telemetry.Observer) error {
 	fmt.Println("AOCR whole-function-reuse demo (Section 2.3 attack chain)")
 	for _, cfg := range []defense.Config{defense.Off(), defense.R2CFull()} {
 		tally := attack.Tally{}
 		for seed := uint64(1); seed <= 8; seed++ {
-			s, err := attack.NewScenario(cfg, seed)
+			s, err := attack.NewScenarioObserved(cfg, seed, obs)
 			if err != nil {
 				return err
 			}

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	r2cbench [-scale N] [-runs N] <table1|table2|figure6|webserver|memory|oia|avx512|scale|all>
+//	r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-profile] <experiment>
 package main
 
 import (
@@ -18,14 +18,48 @@ import (
 	"time"
 
 	"r2c/internal/bench"
+	"r2c/internal/telemetry"
 )
+
+// experiments maps every known experiment name to its driver, in the order
+// `all` runs them.
+var experiments = []struct {
+	name string
+	run  func(bench.Options) error
+}{
+	{"table1", func(o bench.Options) error { _, err := bench.Table1(o); return err }},
+	{"table2", func(o bench.Options) error { _, err := bench.Table2(o); return err }},
+	{"figure6", func(o bench.Options) error { _, err := bench.Figure6(o); return err }},
+	{"webserver", func(o bench.Options) error { _, err := bench.Webserver(o); return err }},
+	{"memory", func(o bench.Options) error { _, err := bench.Memory(o); return err }},
+	{"oia", func(o bench.Options) error { _, err := bench.OIA(o); return err }},
+	{"avx512", func(o bench.Options) error { _, err := bench.AVX512(o); return err }},
+	{"scale", func(o bench.Options) error { _, err := bench.Scale(o, 2000); return err }},
+	{"ablations", func(o bench.Options) error { _, err := bench.Ablations(o); return err }},
+}
+
+func knownExperiments() []string {
+	names := make([]string, 0, len(experiments)+1)
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	return append(names, "all")
+}
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale divisor (1 = full calibrated size)")
 	runs := flag.Int("runs", 3, "differently-seeded builds per measurement (median)")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to FILE on exit")
+	traceOut := flag.String("trace", "", "stream structured events (traps, faults, BTDP init) to FILE as JSONL")
+	profile := flag.Bool("profile", false, "collect per-function simulated-cycle profiles and print the hot-function table")
+	top := flag.Int("top", 15, "rows in the -profile hot-function table")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure6 webserver memory oia avx512 scale ablations all\n")
+		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-profile] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments:")
+		for _, n := range knownExperiments() {
+			fmt.Fprintf(os.Stderr, " %s", n)
+		}
+		fmt.Fprintf(os.Stderr, "\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -33,47 +67,56 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opt := bench.Options{Scale: *scale, Runs: *runs, Out: os.Stdout}
 
-	run := func(name string) error {
+	// Validate the experiment name before doing any work, so a typo fails
+	// fast instead of after minutes of earlier experiments.
+	want := flag.Arg(0)
+	var selected []struct {
+		name string
+		run  func(bench.Options) error
+	}
+	if want == "all" {
+		selected = experiments
+	} else {
+		for _, e := range experiments {
+			if e.name == want {
+				selected = append(selected, e)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "r2cbench: unknown experiment %q\nknown experiments:", want)
+			for _, n := range knownExperiments() {
+				fmt.Fprintf(os.Stderr, " %s", n)
+			}
+			fmt.Fprintf(os.Stderr, "\n")
+			os.Exit(2)
+		}
+	}
+
+	sinks, err := telemetry.OpenSinks(*metricsOut, *traceOut, *profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
+		os.Exit(1)
+	}
+	opt := bench.Options{Scale: *scale, Runs: *runs, Out: os.Stdout, Obs: sinks.Obs}
+
+	for _, e := range selected {
 		start := time.Now()
-		var err error
-		switch name {
-		case "table1":
-			_, err = bench.Table1(opt)
-		case "table2":
-			_, err = bench.Table2(opt)
-		case "figure6":
-			_, err = bench.Figure6(opt)
-		case "webserver":
-			_, err = bench.Webserver(opt)
-		case "memory":
-			_, err = bench.Memory(opt)
-		case "oia":
-			_, err = bench.OIA(opt)
-		case "avx512":
-			_, err = bench.AVX512(opt)
-		case "scale":
-			_, err = bench.Scale(opt, 2000)
-		case "ablations":
-			_, err = bench.Ablations(opt)
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		if err == nil {
-			fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
-		}
-		return err
-	}
-
-	names := []string{flag.Arg(0)}
-	if flag.Arg(0) == "all" {
-		names = []string{"table1", "table2", "figure6", "webserver", "memory", "oia", "avx512", "scale", "ablations"}
-	}
-	for _, n := range names {
-		if err := run(n); err != nil {
-			fmt.Fprintf(os.Stderr, "r2cbench %s: %v\n", n, err)
+		stop := sinks.Obs.Timer("bench.experiment", "name", e.name).Time()
+		err := e.run(opt)
+		stop()
+		if err != nil {
+			sinks.Close()
+			fmt.Fprintf(os.Stderr, "r2cbench %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
+		fmt.Printf("[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if *profile {
+		sinks.WriteHotFunctions(os.Stdout, *top)
+	}
+	if err := sinks.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"r2c/internal/image"
 	"r2c/internal/rt"
 	"r2c/internal/sim"
+	"r2c/internal/telemetry"
 	"r2c/internal/tir"
 	"r2c/internal/vm"
 	"r2c/internal/workload"
@@ -38,6 +39,10 @@ func main() {
 	stack := flag.Bool("stack", false, "run to a pause point and dump the stack (the Figure 2 view)")
 	runIt := flag.Bool("run", false, "execute the program and report statistics")
 	scale := flag.Int("scale", 8, "workload scale divisor")
+	metricsOut := flag.String("metrics-out", "", "with -run: write a JSON metrics snapshot to FILE")
+	traceOut := flag.String("trace", "", "stream structured runtime events to FILE as JSONL")
+	profile := flag.Bool("profile", false, "with -run: print the per-function simulated-cycle profile")
+	top := flag.Int("top", 15, "rows in the -profile hot-function table")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: r2cc [flags] <workload|victim>")
@@ -138,19 +143,36 @@ func main() {
 	}
 
 	if *runIt {
-		proc, err := rt.NewProcess(img, *seed*0xbf58476d1ce4e5b9+2)
+		sinks, err := telemetry.OpenSinks(*metricsOut, *traceOut, *profile)
+		if err != nil {
+			fatal(err)
+		}
+		proc, err := rt.NewProcessObserved(img, *seed*0xbf58476d1ce4e5b9+2, sinks.Obs)
 		if err != nil {
 			fatal(err)
 		}
 		mach := vm.New(proc, vm.EPYCRome())
+		if sinks.Obs.Profiling() {
+			mach.EnableProfiler()
+		}
 		res, err := mach.Run(sim.DefaultBudget)
+		if reg := sinks.Obs.Reg(); reg != nil {
+			mach.PublishMetrics(reg)
+		}
 		if err != nil {
+			sinks.Close()
 			fatal(err)
 		}
 		fmt.Printf("executed %d instructions, %d calls, %.0f cycles (%.3f ms on %s), maxrss %d KiB\n",
 			res.Instructions, res.Calls, res.Cycles, res.Seconds(vm.EPYCRome())*1e3,
 			vm.EPYCRome().Name, res.MaxRSSBytes/1024)
 		fmt.Printf("output: %#x (halted=%v)\n", res.Output, res.Halted)
+		if p := mach.Profiler(); p != nil {
+			p.WriteTable(os.Stdout, *top)
+		}
+		if err := sinks.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -74,7 +74,7 @@ func narrate(cfg defense.Config) {
 		fmt.Println("     overwrote them, and the next dispatch called secret_disclose(0x1337)")
 		fmt.Println("  => ATTACK SUCCEEDED: the victim printed the WIN sentinel")
 	case attack.Detected:
-		fmt.Printf("  => ATTACK DETECTED after %d booby-trap detonation(s): a dereferenced\n", s.Detections+len(s.Proc.Traps))
+		fmt.Printf("  => ATTACK DETECTED after %d booby-trap detonation(s): a dereferenced\n", s.Detections+int(s.Proc.TrapCount()))
 		fmt.Println("     'heap pointer' was a BTDP guard page (Section 4.2)")
 	case attack.Failed:
 		fmt.Println("  => attack FAILED silently: shuffled globals put the corruption in the")

@@ -8,6 +8,7 @@ import (
 	"r2c/internal/isa"
 	"r2c/internal/rng"
 	"r2c/internal/sim"
+	"r2c/internal/telemetry"
 	"r2c/internal/vm"
 )
 
@@ -20,9 +21,9 @@ import (
 // BTRA re-roll before execution (the dynamic-BTRA ablation) and an optional
 // required caller of the paused helper frame (for the per-callee ablation,
 // which must observe two distinct call sites).
-func newScenarioOpts(cfg defense.Config, seed uint64, reroll bool, rerollSeed uint64, wantCaller string) (*Scenario, error) {
+func newScenarioOpts(cfg defense.Config, seed uint64, reroll bool, rerollSeed uint64, wantCaller string, obs *telemetry.Observer) (*Scenario, error) {
 	m := Victim()
-	proc, err := sim.Build(m, cfg, seed)
+	proc, err := sim.BuildObserved(m, cfg, seed, obs)
 	if err != nil {
 		return nil, err
 	}
@@ -68,6 +69,7 @@ func newScenarioOpts(cfg defense.Config, seed uint64, reroll bool, rerollSeed ui
 		Mach:     mach,
 		RefImg:   refImg,
 		Rnd:      rng.New(seed ^ 0xa77ac4e2),
+		Obs:      obs,
 		baseSeed: seed,
 	}, nil
 }
@@ -124,7 +126,7 @@ func DynamicBTRAAttack(cfg defense.Config, seed uint64) (remaining int, isRA boo
 	// Second observation of the same worker: with dynamic BTRAs the decoy
 	// sets re-randomize between invocations (the runtime re-roll), while
 	// the return address necessarily stays.
-	s2, err := newScenarioOpts(cfg, seed, cfg.InsecureDynamicBTRAs, seed^0xd15ea5e, "")
+	s2, err := newScenarioOpts(cfg, seed, cfg.InsecureDynamicBTRAs, seed^0xd15ea5e, "", nil)
 	if err != nil {
 		return 0, false, err
 	}
@@ -159,11 +161,11 @@ func DynamicBTRAAttack(cfg defense.Config, seed uint64) (remaining int, isRA boo
 // It returns the size of the symmetric difference of the two innermost
 // candidate runs and whether every differing value is a real RA.
 func CalleeBTRAAttack(cfg defense.Config, seed uint64) (uniques int, allRAs bool, err error) {
-	s1, err := newScenarioOpts(cfg, seed, false, 0, SymValidate)
+	s1, err := newScenarioOpts(cfg, seed, false, 0, SymValidate, nil)
 	if err != nil {
 		return 0, false, err
 	}
-	s2, err := newScenarioOpts(cfg, seed, false, 0, SymProcess2)
+	s2, err := newScenarioOpts(cfg, seed, false, 0, SymProcess2, nil)
 	if err != nil {
 		return 0, false, err
 	}

@@ -11,6 +11,7 @@ import (
 	"r2c/internal/rt"
 	"r2c/internal/sim"
 	"r2c/internal/stats"
+	"r2c/internal/telemetry"
 	"r2c/internal/tir"
 	"r2c/internal/vm"
 )
@@ -41,6 +42,10 @@ type Scenario struct {
 	RefImg *image.Image // attacker's copy
 	Rnd    *rng.RNG
 
+	// Obs receives per-scenario telemetry: probe/leak counters, detection
+	// events and outcome tallies. Nil disables collection.
+	Obs *telemetry.Observer
+
 	// Detections counts booby traps fired by attacker probes before the
 	// victim even resumes (deref of a BTDP, etc.).
 	Detections int
@@ -58,7 +63,14 @@ type Scenario struct {
 // the victim build; the attacker's reference copy uses an unrelated seed,
 // which only matters when the configuration actually randomizes layout.
 func NewScenario(cfg defense.Config, victimSeed uint64) (*Scenario, error) {
-	return newScenarioOpts(cfg, victimSeed, false, 0, "")
+	return newScenarioOpts(cfg, victimSeed, false, 0, "", nil)
+}
+
+// NewScenarioObserved is NewScenario with a telemetry observer: the victim
+// process streams trap/fault events to it, and the scenario records
+// probe/leak/outcome counters under the "attack.*" namespace.
+func NewScenarioObserved(cfg defense.Config, victimSeed uint64, obs *telemetry.Observer) (*Scenario, error) {
+	return newScenarioOpts(cfg, victimSeed, false, 0, "", obs)
 }
 
 func buildRef(m *tir.Module, cfg defense.Config, seed uint64) (*image.Image, error) {
@@ -91,10 +103,13 @@ func (s *Scenario) Stale(l Leaked) bool {
 // Dereferencing a BTDP guard page faults and is *detected* (Section 4.2).
 func (s *Scenario) Read(addr uint64) (Leaked, error) {
 	s.tick()
+	s.Obs.Counter("attack.probes", "op", "read").Inc()
 	v, err := s.Proc.Space.Read64(addr)
 	if err != nil {
 		if s.Proc.IsGuardAddr(addr) {
 			s.Detections++
+			s.Obs.Counter("attack.detections", "via", "btdp-read").Inc()
+			s.Obs.Emit("attack.detect", map[string]any{"via": "btdp-read", "addr": addr})
 			return Leaked{}, fmt.Errorf("attack: read %#x detonated a BTDP: %w", addr, err)
 		}
 		return Leaked{}, err
@@ -105,6 +120,7 @@ func (s *Scenario) Read(addr uint64) (Leaked, error) {
 // Write is the attacker's corruption primitive.
 func (s *Scenario) Write(addr, v uint64) error {
 	s.tick()
+	s.Obs.Counter("attack.probes", "op", "write").Inc()
 	return s.Proc.Space.Write64(addr, v)
 }
 
@@ -130,38 +146,59 @@ func (s *Scenario) LeakStack(nBytes uint64) ([]Leaked, error) {
 		}
 		out = append(out, Leaked{Addr: addr, Value: v, at: s.now})
 	}
+	s.Obs.Counter("attack.probes", "op", "stack-leak").Inc()
+	s.Obs.Counter("attack.leaked_words").Add(uint64(len(out)))
 	return out, nil
 }
 
 // Resume lets the victim run to completion and classifies what happened.
 func (s *Scenario) Resume() Outcome {
 	res, err := s.Mach.Run(sim.DefaultBudget)
+	var o Outcome
 	switch {
 	case s.Detections > 0 || res.Trap != nil:
-		return Detected
+		o = Detected
 	case err != nil || res.Fault != nil || !res.Halted:
-		return Crashed
+		o = Crashed
 	case HasWin(res.Output):
-		return Success
+		o = Success
 	default:
-		return Failed
+		o = Failed
 	}
+	s.noteOutcome(o)
+	return o
 }
 
 // ResumeOutcomeOnly is Resume without counting earlier probe detections
 // (for experiments that score only the final control-flow transfer).
 func (s *Scenario) ResumeOutcomeOnly() Outcome {
 	res, err := s.Mach.Run(sim.DefaultBudget)
+	var o Outcome
 	switch {
 	case res.Trap != nil:
-		return Detected
+		o = Detected
 	case err != nil || res.Fault != nil || !res.Halted:
-		return Crashed
+		o = Crashed
 	case HasWin(res.Output):
-		return Success
+		o = Success
 	default:
-		return Failed
+		o = Failed
 	}
+	s.noteOutcome(o)
+	return o
+}
+
+// noteOutcome records the scenario's final classification and flushes the
+// victim machine's counters into the observer's registry.
+func (s *Scenario) noteOutcome(o Outcome) {
+	if !s.Obs.Enabled() {
+		return
+	}
+	s.Obs.Counter("attack.outcomes", "config", s.Cfg.Name, "result", o.String()).Inc()
+	s.Obs.Emit("attack.outcome", map[string]any{
+		"config": s.Cfg.Name, "result": o.String(), "detections": s.Detections,
+	})
+	s.Mach.PublishMetrics(s.Obs.Reg())
 }
 
 // Clusters runs the AOCR statistical analysis over leaked words and

@@ -63,9 +63,9 @@ func TestShadowStackStopsRAOverwrite(t *testing.T) {
 	if o != Detected {
 		t.Fatalf("RA overwrite under shadow stack = %v, want detected", o)
 	}
-	last := s.Proc.Traps[len(s.Proc.Traps)-1]
-	if last.Kind != rt.TrapShadowStack {
-		t.Fatalf("trap kind = %v, want shadow-stack", last.Kind)
+	last := s.Proc.LastTrap()
+	if last == nil || last.Kind != rt.TrapShadowStack {
+		t.Fatalf("trap = %v, want shadow-stack", last)
 	}
 }
 

@@ -56,9 +56,9 @@ func TestBTRAChecksCatchCorruptionSpree(t *testing.T) {
 	if o != Detected {
 		t.Fatalf("BTRA corruption spree outcome = %v, want detected", o)
 	}
-	last := s.Proc.Traps[len(s.Proc.Traps)-1]
-	if last.Kind != rt.TrapBTRACheck {
-		t.Fatalf("trap kind = %v, want btra-check", last.Kind)
+	last := s.Proc.LastTrap()
+	if last == nil || last.Kind != rt.TrapBTRACheck {
+		t.Fatalf("trap = %v, want btra-check", last)
 	}
 }
 
@@ -121,7 +121,7 @@ func TestWithoutChecksSpreeIsSilent(t *testing.T) {
 		}
 	}
 	s.ResumeOutcomeOnly()
-	for _, tr := range s.Proc.Traps {
+	for _, tr := range s.Proc.Traps() {
 		if tr.Kind == rt.TrapBTRACheck {
 			t.Fatal("default config fired a consistency check")
 		}

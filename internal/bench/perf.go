@@ -15,6 +15,7 @@ import (
 	"r2c/internal/defense"
 	"r2c/internal/sim"
 	"r2c/internal/stats"
+	"r2c/internal/telemetry"
 	"r2c/internal/tir"
 	"r2c/internal/vm"
 	"r2c/internal/workload"
@@ -29,6 +30,11 @@ type Options struct {
 	Runs int
 	// Out receives the printed table (may be nil).
 	Out io.Writer
+	// Obs receives telemetry from every build and run the experiment
+	// performs (counters, trap/fault events, optional function profiles).
+	// Nil disables collection; the measured cycle counts are identical
+	// either way.
+	Obs *telemetry.Observer
 }
 
 func (o Options) scale() int {
@@ -53,10 +59,10 @@ func (o Options) printf(format string, args ...any) {
 
 // medianCycles builds and runs m under cfg `runs` times with distinct seeds
 // and returns the median modeled cycle count.
-func medianCycles(m *tir.Module, cfg defense.Config, prof *vm.Profile, runs int, seedBase uint64) (float64, error) {
+func medianCycles(m *tir.Module, cfg defense.Config, prof *vm.Profile, runs int, seedBase uint64, obs *telemetry.Observer) (float64, error) {
 	var cycles []float64
 	for i := 0; i < runs; i++ {
-		res, _, err := sim.Run(m, cfg, seedBase+uint64(i)*1000003, prof)
+		res, _, err := sim.RunObserved(m, cfg, seedBase+uint64(i)*1000003, prof, obs)
 		if err != nil {
 			return 0, fmt.Errorf("%s: %w", cfg.Name, err)
 		}
@@ -99,13 +105,14 @@ func (o *Overheads) Max() (string, float64) {
 // MeasureOverheads computes per-benchmark overhead ratios of each config
 // against the unprotected baseline on the given machine profile.
 func MeasureOverheads(cfgs []defense.Config, prof *vm.Profile, opt Options) ([]Overheads, error) {
+	defer opt.Obs.Timer("bench.measure", "machine", prof.Name).Time()()
 	specs := workload.SPEC()
 	base := make(map[string]float64)
 	modules := make(map[string]*tir.Module)
 	for _, b := range specs {
 		m := b.Build(opt.scale())
 		modules[b.Name] = m
-		c, err := medianCycles(m, defense.Off(), prof, opt.runs(), 17)
+		c, err := medianCycles(m, defense.Off(), prof, opt.runs(), 17, opt.Obs)
 		if err != nil {
 			return nil, fmt.Errorf("%s baseline: %w", b.Name, err)
 		}
@@ -115,7 +122,7 @@ func MeasureOverheads(cfgs []defense.Config, prof *vm.Profile, opt Options) ([]O
 	for _, cfg := range cfgs {
 		ov := Overheads{Config: cfg.Name, ByBench: map[string]float64{}}
 		for _, b := range specs {
-			c, err := medianCycles(modules[b.Name], cfg, prof, opt.runs(), 31)
+			c, err := medianCycles(modules[b.Name], cfg, prof, opt.runs(), 31, opt.Obs)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %w", b.Name, cfg.Name, err)
 			}
@@ -181,7 +188,7 @@ func Table2(opt Options) ([]Table2Row, error) {
 		var counts []uint64
 		for i := 0; i < opt.runs(); i++ {
 			// Different seeds act as different inputs.
-			res, _, err := sim.Run(b.Build(1), defense.Off(), 100+uint64(i)*77, vm.EPYCRome())
+			res, _, err := sim.RunObserved(b.Build(1), defense.Off(), 100+uint64(i)*77, vm.EPYCRome(), opt.Obs)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", b.Name, err)
 			}

@@ -75,6 +75,7 @@ func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
 	if trials <= 0 {
 		trials = 10
 	}
+	defer opt.Obs.Timer("bench.experiment", "name", "table3").Time()()
 	var rows []MatrixRow
 	for _, cfg := range table3Configs() {
 		row := MatrixRow{Defense: cfg.Name, Cxx: cfg.SupportsCxx, Tallies: map[string]*attack.Tally{}}
@@ -102,7 +103,7 @@ func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
 					tally.Add(attack.PIROPPersistent(cfg, seed, 12))
 					continue
 				}
-				s, err := attack.NewScenario(cfg, seed)
+				s, err := attack.NewScenarioObserved(cfg, seed, opt.Obs)
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s: %w", cfg.Name, a.name, err)
 				}
@@ -168,7 +169,7 @@ func Prob(opt Options, trials int) ([]ProbPoint, error) {
 		cfg.BTRAsPerCall = R
 		hits, picks := 0, 0
 		for i := 0; i < trials; i++ {
-			s, err := attack.NewScenario(cfg, uint64(i)*97+3)
+			s, err := attack.NewScenarioObserved(cfg, uint64(i)*97+3, opt.Obs)
 			if err != nil {
 				return nil, err
 			}
@@ -221,13 +222,13 @@ type SideChannelResult struct {
 // defeats the accumulation.
 func SideChannel(opt Options) (*SideChannelResult, error) {
 	cfg := defense.R2CFull()
-	s, err := attack.NewScenario(cfg, 42)
+	s, err := attack.NewScenarioObserved(cfg, 42, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
 	attempts, identified, _ := s.CrashSideChannel(16, false)
 
-	s2, err := attack.NewScenario(cfg, 43)
+	s2, err := attack.NewScenarioObserved(cfg, 43, opt.Obs)
 	if err != nil {
 		return nil, err
 	}

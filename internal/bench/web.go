@@ -6,6 +6,7 @@ import (
 	"r2c/internal/defense"
 	"r2c/internal/sim"
 	"r2c/internal/stats"
+	"r2c/internal/telemetry"
 	"r2c/internal/tir"
 	"r2c/internal/vm"
 	"r2c/internal/workload"
@@ -26,8 +27,8 @@ type WebResult struct {
 // requests over modeled time. On machines where the paper shares cores
 // between wrk and the server (the 8-core i9-9900K), context-switch
 // pollution is modeled by flushing the i-cache once per request.
-func webRun(m *tir.Module, cfg defense.Config, prof *vm.Profile, seed uint64, requests float64) (float64, error) {
-	proc, err := sim.Build(m, cfg, seed)
+func webRun(m *tir.Module, cfg defense.Config, prof *vm.Profile, seed uint64, requests float64, obs *telemetry.Observer) (float64, error) {
+	proc, err := sim.BuildObserved(m, cfg, seed, obs)
 	if err != nil {
 		return 0, err
 	}
@@ -36,6 +37,9 @@ func webRun(m *tir.Module, cfg defense.Config, prof *vm.Profile, seed uint64, re
 		mach.FlushICacheEvery = 5400 // ≈ every few requests
 	}
 	res, err := mach.Run(sim.DefaultBudget)
+	if reg := obs.Reg(); reg != nil {
+		mach.PublishMetrics(reg)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -63,11 +67,11 @@ func Webserver(opt Options) ([]WebResult, error) {
 			var base, prot []float64
 			for i := 0; i < runs; i++ {
 				seed := uint64(41 + i*131)
-				rb, err := webRun(m, defense.Off(), prof, seed, requests)
+				rb, err := webRun(m, defense.Off(), prof, seed, requests, opt.Obs)
 				if err != nil {
 					return nil, fmt.Errorf("%s baseline: %w", server, err)
 				}
-				rp, err := webRun(m, defense.R2CFull(), prof, seed+7, requests)
+				rp, err := webRun(m, defense.R2CFull(), prof, seed+7, requests, opt.Obs)
 				if err != nil {
 					return nil, fmt.Errorf("%s r2c: %w", server, err)
 				}
@@ -114,11 +118,11 @@ func Memory(opt Options) (*MemResult, error) {
 	var sampled []float64
 	for _, b := range workload.SPEC() {
 		m := b.Build(opt.scale())
-		base, _, err := sim.Run(m, defense.Off(), 3, vm.EPYCRome())
+		base, _, err := sim.RunObserved(m, defense.Off(), 3, vm.EPYCRome(), opt.Obs)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
-		full, _, err := sim.Run(m, defense.R2CFull(), 5, vm.EPYCRome())
+		full, _, err := sim.RunObserved(m, defense.R2CFull(), 5, vm.EPYCRome(), opt.Obs)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -130,8 +134,8 @@ func Memory(opt Options) (*MemResult, error) {
 			res.SPECMaxrssMaxPct = pct
 		}
 		// Sampled-RSS methodology cross-check.
-		bs, err2 := sampledMedianRSS(m, defense.Off(), 3)
-		fs, err3 := sampledMedianRSS(m, defense.R2CFull(), 5)
+		bs, err2 := sampledMedianRSS(m, defense.Off(), 3, opt.Obs)
+		fs, err3 := sampledMedianRSS(m, defense.R2CFull(), 5, opt.Obs)
 		if err2 != nil || err3 != nil {
 			return nil, fmt.Errorf("%s sampling: %v %v", b.Name, err2, err3)
 		}
@@ -143,11 +147,11 @@ func Memory(opt Options) (*MemResult, error) {
 	// Webservers: sampled median RSS plus guard-page attribution.
 	bng, _ := workload.ByName("nginx")
 	m := bng.Build(opt.scale())
-	base, err := sampledMedianRSS(m, defense.Off(), 9)
+	base, err := sampledMedianRSS(m, defense.Off(), 9, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
-	protProc, err := sim.Build(m, defense.R2CFull(), 11)
+	protProc, err := sim.BuildObserved(m, defense.R2CFull(), 11, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -156,6 +160,9 @@ func Memory(opt Options) (*MemResult, error) {
 	r, err := mach.Run(sim.DefaultBudget)
 	if err != nil {
 		return nil, err
+	}
+	if reg := opt.Obs.Reg(); reg != nil {
+		mach.PublishMetrics(reg)
 	}
 	if len(r.RSSSamples) == 0 {
 		return nil, fmt.Errorf("no RSS samples collected")
@@ -176,8 +183,8 @@ func Memory(opt Options) (*MemResult, error) {
 	return res, nil
 }
 
-func sampledMedianRSS(m *tir.Module, cfg defense.Config, seed uint64) (float64, error) {
-	proc, err := sim.Build(m, cfg, seed)
+func sampledMedianRSS(m *tir.Module, cfg defense.Config, seed uint64, obs *telemetry.Observer) (float64, error) {
+	proc, err := sim.BuildObserved(m, cfg, seed, obs)
 	if err != nil {
 		return 0, err
 	}
@@ -186,6 +193,9 @@ func sampledMedianRSS(m *tir.Module, cfg defense.Config, seed uint64) (float64, 
 	r, err := mach.Run(sim.DefaultBudget)
 	if err != nil {
 		return 0, err
+	}
+	if reg := obs.Reg(); reg != nil {
+		mach.PublishMetrics(reg)
 	}
 	if len(r.RSSSamples) == 0 {
 		return float64(r.MaxRSSBytes), nil
@@ -212,7 +222,7 @@ type ScaleResult struct {
 func Scale(opt Options, funcs int) (*ScaleResult, error) {
 	m := workload.BrowserScale(funcs)
 	st := m.Stats()
-	base, _, err := sim.Run(m, defense.Off(), 1, vm.Xeon8358())
+	base, _, err := sim.RunObserved(m, defense.Off(), 1, vm.Xeon8358(), opt.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +234,7 @@ func Scale(opt Options, funcs int) (*ScaleResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	full, _, err := sim.Run(m, defense.R2CFull(), 1, vm.Xeon8358())
+	full, _, err := sim.RunObserved(m, defense.R2CFull(), 1, vm.Xeon8358(), opt.Obs)
 	if err != nil {
 		return nil, err
 	}

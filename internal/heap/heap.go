@@ -23,6 +23,7 @@ import (
 
 	"r2c/internal/mem"
 	"r2c/internal/rng"
+	"r2c/internal/telemetry"
 )
 
 // MinAlign is the minimum alignment of returned chunks, matching glibc.
@@ -253,4 +254,20 @@ func (a *Allocator) Stats() Stats {
 		NumAllocs:  a.numAllocs,
 		NumFrees:   a.numFrees,
 	}
+}
+
+// PublishMetrics exports the allocator counters as gauges (absolute values,
+// so repeated publishes are idempotent). The live-page gauge is the
+// RSS-attribution companion to the VM's sampled-RSS metrics: guard pages
+// created by the BTDP constructor stay live forever by design.
+func (a *Allocator) PublishMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("heap.live_bytes").Set(float64(a.liveBytes))
+	reg.Gauge("heap.live_pages").Set(float64(len(a.pages)))
+	reg.Gauge("heap.total_alloc_bytes").Set(float64(a.totalAlloc))
+	reg.Gauge("heap.allocs").Set(float64(a.numAllocs))
+	reg.Gauge("heap.frees").Set(float64(a.numFrees))
+	reg.Gauge("heap.brk_bytes").Set(float64(a.brk - a.base))
 }

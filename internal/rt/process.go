@@ -16,6 +16,7 @@ import (
 	"r2c/internal/isa"
 	"r2c/internal/mem"
 	"r2c/internal/rng"
+	"r2c/internal/telemetry"
 )
 
 // TrapKind classifies a detonated booby trap.
@@ -87,17 +88,37 @@ type Process struct {
 	Output []uint64
 	// ExitStatus is set by SysExit.
 	ExitStatus uint64
-	// Traps records booby-trap detonations.
-	Traps []TrapEvent
+
+	// Obs receives structured trap/fault/constructor events and counters.
+	// Nil disables telemetry; every use is nil-safe.
+	Obs *telemetry.Observer
 
 	// InitialRSP is the stack pointer at entry.
 	InitialRSP uint64
 
+	// trapRing retains the most recent trap events (capped so long attack
+	// campaigns cannot balloon memory); trapTotal counts every detonation.
+	trapRing  []TrapEvent
+	trapHead  int
+	trapTotal uint64
+
 	rnd *rng.RNG
 }
 
+// TrapRingCap is how many recent trap events a process retains. The total
+// detonation count is unbounded (TrapCount); only the event details of the
+// newest TrapRingCap detonations are kept.
+const TrapRingCap = 256
+
 // NewProcess maps the image and runs load-time initialization.
 func NewProcess(img *image.Image, seed uint64) (*Process, error) {
+	return NewProcessObserved(img, seed, nil)
+}
+
+// NewProcessObserved is NewProcess with a telemetry observer attached from
+// the start, so load-time events (the BTDP constructor) are captured too.
+// obs may be nil.
+func NewProcessObserved(img *image.Image, seed uint64, obs *telemetry.Observer) (*Process, error) {
 	cfg := &img.Prog.Config
 	sp := mem.NewSpace()
 
@@ -121,7 +142,7 @@ func NewProcess(img *image.Image, seed uint64) (*Process, error) {
 		return nil, fmt.Errorf("rt: heap: %w", err)
 	}
 
-	p := &Process{Img: img, Cfg: cfg, Space: sp, Heap: h, rnd: r}
+	p := &Process{Img: img, Cfg: cfg, Space: sp, Heap: h, Obs: obs, rnd: r}
 
 	// Write the initialized data section.
 	for addr, w := range img.DataInit {
@@ -250,6 +271,18 @@ func (p *Process) runBTDPConstructor() error {
 			return err
 		}
 	}
+
+	p.Obs.Counter("rt.btdp.constructors").Inc()
+	p.Obs.Gauge("rt.btdp.guard_pages").Set(float64(len(p.GuardPages)))
+	p.Obs.Gauge("rt.btdp.array_len").Set(float64(len(p.BTDPValues)))
+	p.Obs.Gauge("rt.btdp.data_decoys").Set(float64(len(p.DecoyVals)))
+	p.Obs.Emit("btdp-init", map[string]any{
+		"guard_pages": len(p.GuardPages),
+		"array_addr":  p.BTDPArray,
+		"array_len":   len(p.BTDPValues),
+		"decoys":      len(p.DecoyVals),
+		"naive_array": cfg.BTDPNaiveDataArray,
+	})
 	return nil
 }
 
@@ -287,8 +320,65 @@ func (p *Process) ClassifyFault(pc uint64, f *mem.Fault) TrapKind {
 	return TrapNone
 }
 
-// RecordTrap appends a trap event.
-func (p *Process) RecordTrap(ev TrapEvent) { p.Traps = append(p.Traps, ev) }
+// RecordTrap records a booby-trap detonation: it bumps the total count,
+// stores the event in the bounded ring of recent detonations, and streams
+// it to the telemetry observer. The ring cap keeps long attack campaigns
+// (thousands of detonations across restarted workers) from ballooning the
+// process's memory.
+func (p *Process) RecordTrap(ev TrapEvent) {
+	p.trapTotal++
+	if len(p.trapRing) < TrapRingCap {
+		p.trapRing = append(p.trapRing, ev)
+	} else {
+		p.trapRing[p.trapHead] = ev
+		p.trapHead = (p.trapHead + 1) % TrapRingCap
+	}
+	p.Obs.Counter("rt.traps", "kind", ev.Kind.String()).Inc()
+	p.Obs.Emit("trap", map[string]any{
+		"trap": ev.Kind.String(), "pc": ev.PC, "addr": ev.Addr,
+	})
+}
+
+// Traps returns the retained trap events, oldest first. When more than
+// TrapRingCap detonations occurred, only the newest TrapRingCap are
+// returned; TrapCount still reports the true total.
+func (p *Process) Traps() []TrapEvent {
+	if p.trapHead == 0 {
+		return append([]TrapEvent(nil), p.trapRing...)
+	}
+	out := make([]TrapEvent, 0, len(p.trapRing))
+	out = append(out, p.trapRing[p.trapHead:]...)
+	out = append(out, p.trapRing[:p.trapHead]...)
+	return out
+}
+
+// LastTrap returns the most recent trap event, or nil when none fired.
+func (p *Process) LastTrap() *TrapEvent {
+	if len(p.trapRing) == 0 {
+		return nil
+	}
+	i := p.trapHead - 1
+	if i < 0 {
+		i = len(p.trapRing) - 1
+	}
+	ev := p.trapRing[i]
+	return &ev
+}
+
+// TrapCount returns the total number of detonations ever recorded.
+func (p *Process) TrapCount() uint64 { return p.trapTotal }
+
+// NoteFault streams a memory-fault event; the VM calls it for every fault
+// that stops execution, before booby-trap classification.
+func (p *Process) NoteFault(pc uint64, f *mem.Fault) {
+	if f == nil {
+		return
+	}
+	p.Obs.Counter("rt.faults", "access", f.Access.String()).Inc()
+	p.Obs.Emit("fault", map[string]any{
+		"pc": pc, "addr": f.Addr, "access": f.Access.String(), "unmapped": f.Unmapped,
+	})
+}
 
 // Frame is one unwound stack frame.
 type Frame struct {

@@ -7,6 +7,7 @@ import (
 	"r2c/internal/defense"
 	"r2c/internal/image"
 	"r2c/internal/mem"
+	"r2c/internal/telemetry"
 	"r2c/internal/tir"
 )
 
@@ -220,5 +221,40 @@ func TestRerollBTRAsPreservesRAs(t *testing.T) {
 	}
 	if changed == 0 {
 		t.Fatal("reroll changed nothing")
+	}
+}
+
+// TestTrapRingBoundsGrowth drives RecordTrap far past the ring capacity and
+// checks the invariants the observability layer depends on: memory stays
+// bounded at TrapRingCap, TrapCount keeps the exact total, Traps returns the
+// newest events oldest-first, LastTrap is the final event, and the telemetry
+// counter matches the total per trap kind.
+func TestTrapRingBoundsGrowth(t *testing.T) {
+	p := buildProcess(t, defense.R2CFull(), 3)
+	reg := telemetry.NewRegistry()
+	p.Obs = &telemetry.Observer{Registry: reg}
+
+	const n = 3*TrapRingCap + 17
+	for i := 0; i < n; i++ {
+		p.RecordTrap(TrapEvent{Kind: TrapBTRA, PC: uint64(i)})
+	}
+	if got := p.TrapCount(); got != n {
+		t.Fatalf("TrapCount = %d, want %d", got, n)
+	}
+	traps := p.Traps()
+	if len(traps) != TrapRingCap {
+		t.Fatalf("retained %d traps, want ring cap %d", len(traps), TrapRingCap)
+	}
+	for i, ev := range traps {
+		if want := uint64(n - TrapRingCap + i); ev.PC != want {
+			t.Fatalf("traps[%d].PC = %d, want %d (oldest-first rotation)", i, ev.PC, want)
+		}
+	}
+	if last := p.LastTrap(); last == nil || last.PC != n-1 {
+		t.Fatalf("LastTrap = %v, want PC %d", last, n-1)
+	}
+	key := telemetry.Key("rt.traps", "kind", TrapBTRA.String())
+	if got := reg.Snapshot().Counters[key]; got != n {
+		t.Fatalf("telemetry counter %s = %d, want %d", key, got, n)
 	}
 }

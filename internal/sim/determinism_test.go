@@ -1,0 +1,68 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"r2c/internal/defense"
+	"r2c/internal/sim"
+	"r2c/internal/telemetry"
+	"r2c/internal/vm"
+	"r2c/internal/workload"
+)
+
+// TestTelemetryDoesNotPerturbRuns is the telemetry-off determinism gate: a
+// fully instrumented run (registry + tracer + function profiler) must produce
+// bit-identical results to a plain run — same modeled cycles, same executed
+// instruction stream, same program output, and the same RNG-derived load-time
+// state (guard pages, BTDP values). Telemetry observes the simulation; it
+// must never participate in it.
+func TestTelemetryDoesNotPerturbRuns(t *testing.T) {
+	b, _ := workload.ByName("nginx")
+	m := b.Build(8)
+	for _, cfg := range []defense.Config{defense.Off(), defense.R2CFull()} {
+		obs := &telemetry.Observer{
+			Registry:     telemetry.NewRegistry(),
+			Tracer:       &telemetry.Collector{},
+			ProfileFuncs: true,
+		}
+		plainRes, plainProc, err := sim.Run(m, cfg, 7, vm.EPYCRome())
+		if err != nil {
+			t.Fatalf("%s plain: %v", cfg.Name, err)
+		}
+		obsRes, obsProc, err := sim.RunObserved(m, cfg, 7, vm.EPYCRome(), obs)
+		if err != nil {
+			t.Fatalf("%s observed: %v", cfg.Name, err)
+		}
+
+		if plainRes.Cycles != obsRes.Cycles {
+			t.Errorf("%s: cycles diverge: plain %.0f, observed %.0f", cfg.Name, plainRes.Cycles, obsRes.Cycles)
+		}
+		if plainRes.Instructions != obsRes.Instructions {
+			t.Errorf("%s: instruction counts diverge: %d vs %d", cfg.Name, plainRes.Instructions, obsRes.Instructions)
+		}
+		if !reflect.DeepEqual(plainRes.Output, obsRes.Output) {
+			t.Errorf("%s: program output diverges", cfg.Name)
+		}
+		if plainRes.MaxRSSBytes != obsRes.MaxRSSBytes {
+			t.Errorf("%s: maxrss diverges: %d vs %d", cfg.Name, plainRes.MaxRSSBytes, obsRes.MaxRSSBytes)
+		}
+		// RNG-derived load-time state: both builds consumed their seeded
+		// streams identically, so guard-page placement and the published
+		// BTDP values must match exactly.
+		if !reflect.DeepEqual(plainProc.GuardPages, obsProc.GuardPages) {
+			t.Errorf("%s: guard pages diverge", cfg.Name)
+		}
+		if !reflect.DeepEqual(plainProc.BTDPValues, obsProc.BTDPValues) {
+			t.Errorf("%s: BTDP values diverge", cfg.Name)
+		}
+
+		// And the instrumentation must actually have observed the run: the
+		// registry's instruction counter equals the result's, proving the
+		// comparison exercised the live telemetry path, not a disabled one.
+		snap := obs.Registry.Snapshot()
+		if got := snap.Counters[telemetry.Key("vm.instructions")]; got != obsRes.Instructions {
+			t.Errorf("%s: registry saw %d instructions, result has %d", cfg.Name, got, obsRes.Instructions)
+		}
+	}
+}

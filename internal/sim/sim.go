@@ -12,6 +12,7 @@ import (
 	"r2c/internal/defense"
 	"r2c/internal/image"
 	"r2c/internal/rt"
+	"r2c/internal/telemetry"
 	"r2c/internal/tir"
 	"r2c/internal/vm"
 )
@@ -27,6 +28,13 @@ const DefaultBudget = 600_000_000
 // processes, like the paper's per-run recompilation with fresh seeds
 // (Section 6.2).
 func Build(m *tir.Module, cfg defense.Config, seed uint64) (*rt.Process, error) {
+	return BuildObserved(m, cfg, seed, nil)
+}
+
+// BuildObserved is Build with a telemetry observer attached to the loaded
+// process, so load-time events (the BTDP constructor) and later traps and
+// faults reach the observer's sinks. obs may be nil.
+func BuildObserved(m *tir.Module, cfg defense.Config, seed uint64, obs *telemetry.Observer) (*rt.Process, error) {
 	prog, err := codegen.Compile(m, cfg, seed)
 	if err != nil {
 		return nil, err
@@ -35,7 +43,7 @@ func Build(m *tir.Module, cfg defense.Config, seed uint64) (*rt.Process, error) 
 	if err != nil {
 		return nil, err
 	}
-	proc, err := rt.NewProcess(img, seed*0xbf58476d1ce4e5b9+2)
+	proc, err := rt.NewProcessObserved(img, seed*0xbf58476d1ce4e5b9+2, obs)
 	if err != nil {
 		return nil, err
 	}
@@ -44,12 +52,32 @@ func Build(m *tir.Module, cfg defense.Config, seed uint64) (*rt.Process, error) 
 
 // Run builds and executes a module to completion on the given profile.
 func Run(m *tir.Module, cfg defense.Config, seed uint64, prof *vm.Profile) (*vm.Result, *rt.Process, error) {
-	proc, err := Build(m, cfg, seed)
+	return RunObserved(m, cfg, seed, prof, nil)
+}
+
+// RunObserved is Run with telemetry: the loaded process streams trap/fault
+// events to obs, the machine publishes its counters (instruction classes,
+// i-cache, TLB, RSS, heap) into obs's registry when the run ends, and — when
+// obs requests function profiling — per-function cycle attribution is
+// collected and published too. A nil obs makes this identical to Run; the
+// determinism test asserts the instrumented and plain paths produce the
+// same Result and RNG-derived state.
+func RunObserved(m *tir.Module, cfg defense.Config, seed uint64, prof *vm.Profile, obs *telemetry.Observer) (*vm.Result, *rt.Process, error) {
+	proc, err := BuildObserved(m, cfg, seed, obs)
 	if err != nil {
 		return nil, nil, err
 	}
 	mach := vm.New(proc, prof)
+	if obs.Profiling() {
+		mach.EnableProfiler()
+	}
 	res, err := mach.Run(DefaultBudget)
+	if reg := obs.Reg(); reg != nil {
+		mach.PublishMetrics(reg)
+		if p := mach.Profiler(); p != nil {
+			p.Publish(reg)
+		}
+	}
 	if err != nil {
 		return res, proc, err
 	}

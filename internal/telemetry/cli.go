@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file holds the flag-level plumbing shared by the cmd/ binaries: every
+// harness exposes the same -metrics-out FILE, -trace FILE and -profile flags,
+// and Sinks turns those three values into an Observer plus the matching
+// teardown (write the JSON snapshot, close the trace file).
+
+// Sinks owns the file sinks behind the standard telemetry flags. A Sinks
+// whose flags were all disabled has a nil Obs, so the simulation runs on the
+// uninstrumented path.
+type Sinks struct {
+	// Obs is the observer to hand to the experiment drivers. Nil when no
+	// telemetry flag was given.
+	Obs *Observer
+
+	metrics *os.File
+	trace   *os.File
+}
+
+// OpenSinks assembles an Observer from the standard flag values. metricsOut
+// and traceOut are file paths ("" disables); profile enables the
+// per-function cycle profiler (its output lands in the registry, so it
+// implies one). Both files are opened eagerly, so a bad path fails before
+// any experiment runs rather than after minutes of work. The caller must
+// Close the result.
+func OpenSinks(metricsOut, traceOut string, profile bool) (*Sinks, error) {
+	s := &Sinks{}
+	if metricsOut == "" && traceOut == "" && !profile {
+		return s, nil
+	}
+	obs := &Observer{Registry: NewRegistry(), ProfileFuncs: profile}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: open metrics sink: %w", err)
+		}
+		s.metrics = f
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("telemetry: open trace sink: %w", err)
+		}
+		s.trace = f
+		obs.Tracer = NewJSONLTracer(f)
+	}
+	s.Obs = obs
+	return s, nil
+}
+
+// Close flushes the metrics snapshot to -metrics-out (if set) and closes the
+// trace file. It returns the first error encountered.
+func (s *Sinks) Close() error {
+	var first error
+	if s.metrics != nil {
+		if s.Obs != nil {
+			if err := s.Obs.Registry.WriteJSON(s.metrics); err != nil {
+				first = err
+			}
+		}
+		if err := s.metrics.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.metrics = nil
+	}
+	if s.trace != nil {
+		if err := s.trace.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.trace = nil
+	}
+	return first
+}
+
+// WriteHotFunctions renders the top-n hot-function table accumulated in the
+// registry by the -profile runs: self cycles (with share of the total), the
+// cumulative cycles of the function and its callees, and call counts,
+// aggregated across every profiled run that published into the registry.
+func (s *Sinks) WriteHotFunctions(w io.Writer, n int) {
+	if s.Obs == nil || s.Obs.Registry == nil {
+		return
+	}
+	snap := s.Obs.Registry.Snapshot()
+	top := snap.TopCounters("vm.func.self_cycles", n)
+	if len(top) == 0 {
+		return
+	}
+	var total float64
+	for _, kv := range snap.TopCounters("vm.func.self_cycles", 0) {
+		total += kv.Value
+	}
+	fmt.Fprintf(w, "hot functions (aggregated over profiled runs):\n")
+	fmt.Fprintf(w, "%4s %-24s %14s %7s %14s %10s\n", "#", "function", "self-cycles", "self%", "cum-cycles", "calls")
+	for i, kv := range top {
+		_, labels := ParseKey(kv.Key)
+		fn := labels["fn"]
+		cum := snap.Counters[Key("vm.func.cum_cycles", "fn", fn)]
+		calls := snap.Counters[Key("vm.func.calls", "fn", fn)]
+		pct := 0.0
+		if total > 0 {
+			pct = kv.Value / total * 100
+		}
+		fmt.Fprintf(w, "%4d %-24s %14.0f %6.1f%% %14d %10d\n", i+1, fn, kv.Value, pct, cum, calls)
+	}
+}

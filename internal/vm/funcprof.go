@@ -1,0 +1,180 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"r2c/internal/telemetry"
+)
+
+// FuncStat is one function's share of the simulated cycle budget.
+type FuncStat struct {
+	Name string
+	// SelfCycles are cycles charged while this function's code executed.
+	SelfCycles float64
+	// CumCycles are cycles elapsed while the function was live on the call
+	// stack (self plus callees; recursive activations counted once).
+	CumCycles float64
+	// Calls counts activations via an executed call instruction.
+	Calls uint64
+}
+
+type profFrame struct {
+	st    *FuncStat
+	start float64
+	// rec marks a recursive activation: the function was already live when
+	// this frame was pushed, so closing it must not add to CumCycles again.
+	rec bool
+}
+
+// FuncProfiler attributes simulated cycles to functions, keyed by the image
+// symbol table. It observes only control transfers (call/ret/cross-function
+// jump), so a profiled run executes the exact same instruction stream, RNG
+// draws and cycle charges as an unprofiled one — attribution works on
+// deltas of the machine's own cycle counter between transfers.
+type FuncProfiler struct {
+	stats   map[string]*FuncStat
+	stack   []profFrame
+	onStack map[*FuncStat]int
+	cur     *FuncStat
+	mark    float64 // machine cycles at the last attribution point
+}
+
+func newFuncProfiler(entry string, cycles float64) *FuncProfiler {
+	p := &FuncProfiler{
+		stats:   map[string]*FuncStat{},
+		onStack: map[*FuncStat]int{},
+		mark:    cycles,
+	}
+	st := p.stat(entry)
+	p.cur = st
+	p.push(st, cycles)
+	return p
+}
+
+func (p *FuncProfiler) stat(name string) *FuncStat {
+	st := p.stats[name]
+	if st == nil {
+		st = &FuncStat{Name: name}
+		p.stats[name] = st
+	}
+	return st
+}
+
+func (p *FuncProfiler) push(st *FuncStat, cycles float64) {
+	p.stack = append(p.stack, profFrame{st: st, start: cycles, rec: p.onStack[st] > 0})
+	p.onStack[st]++
+}
+
+// attribute charges the cycles since the last attribution point to the
+// current function's self time.
+func (p *FuncProfiler) attribute(cycles float64) {
+	if p.cur != nil {
+		p.cur.SelfCycles += cycles - p.mark
+	}
+	p.mark = cycles
+}
+
+// onCall records a call edge into callee at the given cycle count.
+func (p *FuncProfiler) onCall(callee string, cycles float64) {
+	p.attribute(cycles)
+	st := p.stat(callee)
+	st.Calls++
+	p.push(st, cycles)
+	p.cur = st
+}
+
+// onRet records a return landing in now.
+func (p *FuncProfiler) onRet(now string, cycles float64) {
+	p.attribute(cycles)
+	if n := len(p.stack); n > 0 {
+		f := p.stack[n-1]
+		p.stack = p.stack[:n-1]
+		p.onStack[f.st]--
+		if !f.rec {
+			f.st.CumCycles += cycles - f.start
+		}
+	}
+	// Trust the machine, not our shadow stack: a corrupted return address
+	// may land anywhere (that mismatch is exactly what attacks exploit).
+	p.cur = p.stat(now)
+}
+
+// onJump records a cross-function jump (a tail call, or a hijacked branch).
+// The open frame keeps its original start; its cumulative span closes when
+// the eventual return pops it.
+func (p *FuncProfiler) onJump(now string, cycles float64) {
+	p.attribute(cycles)
+	p.cur = p.stat(now)
+}
+
+// sync flushes self-time attribution up to the given cycle count; the
+// machine calls it whenever a Run ends (halt, fault, trap or budget pause).
+func (p *FuncProfiler) sync(cycles float64) { p.attribute(cycles) }
+
+// Snapshot returns per-function stats sorted by descending self cycles.
+// Cumulative time for frames still open (a paused or trapped machine)
+// extends to the last synced cycle count.
+func (p *FuncProfiler) Snapshot() []FuncStat {
+	out := make([]FuncStat, 0, len(p.stats))
+	open := map[*FuncStat]float64{}
+	for _, f := range p.stack {
+		if !f.rec {
+			if _, dup := open[f.st]; !dup {
+				open[f.st] = p.mark - f.start
+			}
+		}
+	}
+	for _, st := range p.stats {
+		c := *st
+		c.CumCycles += open[st]
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SelfCycles != out[j].SelfCycles {
+			return out[i].SelfCycles > out[j].SelfCycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteTable renders the top-n hot functions as a flat-profile table.
+func (p *FuncProfiler) WriteTable(w io.Writer, n int) {
+	stats := p.Snapshot()
+	var total float64
+	for _, st := range stats {
+		total += st.SelfCycles
+	}
+	if n <= 0 || n > len(stats) {
+		n = len(stats)
+	}
+	fmt.Fprintf(w, "%-4s %-24s %14s %7s %14s %10s\n", "#", "function", "self-cycles", "self%", "cum-cycles", "calls")
+	for i, st := range stats[:n] {
+		pct := 0.0
+		if total > 0 {
+			pct = st.SelfCycles / total * 100
+		}
+		fmt.Fprintf(w, "%-4d %-24s %14.0f %6.1f%% %14.0f %10d\n",
+			i+1, st.Name, st.SelfCycles, pct, st.CumCycles, st.Calls)
+	}
+	if n < len(stats) {
+		fmt.Fprintf(w, "     ... (%d more functions)\n", len(stats)-n)
+	}
+}
+
+// Publish adds the profile's totals to the registry as counters keyed by
+// function name. Call it once per profiler (typically when its run ends);
+// repeated runs into the same registry accumulate, which is what a harness
+// that aggregates many seeded runs wants.
+func (p *FuncProfiler) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, st := range p.Snapshot() {
+		reg.Counter("vm.func.self_cycles", "fn", st.Name).Add(uint64(st.SelfCycles))
+		reg.Counter("vm.func.cum_cycles", "fn", st.Name).Add(uint64(st.CumCycles))
+		reg.Counter("vm.func.calls", "fn", st.Name).Add(st.Calls)
+	}
+}

@@ -1,0 +1,59 @@
+package vm
+
+import (
+	"r2c/internal/isa"
+	"r2c/internal/telemetry"
+)
+
+// rssBucketBounds are the fixed histogram buckets for RSS samples (bytes).
+var rssBucketBounds = []float64{
+	256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
+// PublishMetrics exports the machine's accumulated counters into reg. The
+// export is delta-based: a machine resumed across several Run calls can be
+// published after each (or once at the end) without double counting, and
+// many machines can share one registry, which then aggregates a whole
+// experiment. A nil registry is a no-op.
+func (m *Machine) PublishMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	du := func(cur uint64, prev *uint64) uint64 { d := cur - *prev; *prev = cur; return d }
+	df := func(cur float64, prev *float64) float64 { d := cur - *prev; *prev = cur; return d }
+
+	reg.Counter("vm.instructions").Add(du(m.res.Instructions, &m.pub.instructions))
+	reg.Counter("vm.calls").Add(du(m.res.Calls, &m.pub.calls))
+	reg.Gauge("vm.cycles").Add(df(m.res.Cycles, &m.pub.cycles))
+	reg.Gauge("vm.icache.stall_cycles").Add(df(m.res.ICacheStallCycles, &m.pub.stallCycles))
+
+	reg.Counter("vm.icache.refs").Add(du(m.res.ICacheRefs, &m.pub.icRefs))
+	reg.Counter("vm.icache.misses").Add(du(m.res.ICacheMisses, &m.pub.icMisses))
+	if m.res.ICacheRefs > 0 {
+		reg.Gauge("vm.icache.hit_rate").Set(1 - float64(m.res.ICacheMisses)/float64(m.res.ICacheRefs))
+	}
+	reg.Counter("vm.tlb.hits").Add(du(m.res.TLBHits, &m.pub.tlbHits))
+	reg.Counter("vm.tlb.misses").Add(du(m.res.TLBMisses, &m.pub.tlbMisses))
+
+	for k := range m.res.ClassInstr {
+		if n := du(m.res.ClassInstr[k], &m.pub.classInstr[k]); n > 0 {
+			reg.Counter("vm.instr", "kind", isa.Kind(k).String()).Add(n)
+		}
+		if c := df(m.res.ClassCycles[k], &m.pub.classCycles[k]); c > 0 {
+			reg.Gauge("vm.instr_cycles", "kind", isa.Kind(k).String()).Add(c)
+		}
+	}
+
+	reg.Gauge("vm.rss.max_bytes").SetMax(float64(m.res.MaxRSSBytes))
+	if n := len(m.res.RSSSamples); n > m.pub.rssSamples {
+		h := reg.Histogram("vm.rss.sample_bytes", rssBucketBounds)
+		for _, s := range m.res.RSSSamples[m.pub.rssSamples:] {
+			h.Observe(float64(s))
+		}
+		m.pub.rssSamples = n
+	}
+
+	if m.Proc != nil && m.Proc.Heap != nil {
+		m.Proc.Heap.PublishMetrics(reg)
+	}
+}

@@ -34,6 +34,17 @@ type Result struct {
 	ICacheMisses uint64
 	ICacheRefs   uint64
 
+	// ICacheStallCycles is the share of Cycles spent on L1i miss penalties
+	// (the paper's i-cache-pressure attribution, Section 7.1).
+	ICacheStallCycles float64
+	// TLBHits/TLBMisses count the VM's data-TLB slab cache behaviour.
+	TLBHits   uint64
+	TLBMisses uint64
+	// ClassInstr/ClassCycles attribute executed instructions and modeled
+	// cycles to instruction classes (indexed by isa.Kind).
+	ClassInstr  [32]uint64
+	ClassCycles [32]float64
+
 	Halted     bool
 	ExitStatus uint64
 	// Fault is set when execution stopped on a memory fault.
@@ -87,7 +98,29 @@ type Machine struct {
 	// simulated address space, like a hardware shadow stack.
 	shadow []uint64
 
+	// profiler, when enabled, attributes cycles to functions. It observes
+	// only control transfers, never the architectural state, so a profiled
+	// run is cycle-identical to an unprofiled one.
+	profiler *FuncProfiler
+
 	res Result
+	pub published
+}
+
+// published remembers what PublishMetrics already exported, so repeated
+// publishes (a machine resumed across Run calls) add only deltas.
+type published struct {
+	instructions uint64
+	calls        uint64
+	cycles       float64
+	stallCycles  float64
+	icMisses     uint64
+	icRefs       uint64
+	tlbHits      uint64
+	tlbMisses    uint64
+	rssSamples   int
+	classInstr   [32]uint64
+	classCycles  [32]float64
 }
 
 // New prepares a machine at the image entry point.
@@ -102,6 +135,30 @@ func New(proc *rt.Process, prof *Profile) *Machine {
 	return m
 }
 
+// EnableProfiler turns on per-function cycle attribution and returns the
+// profiler. Call before the first Run; the profiler survives budget pauses
+// and accumulates across resumed Run calls.
+func (m *Machine) EnableProfiler() *FuncProfiler {
+	if m.profiler == nil {
+		entry := ""
+		if f := m.Img.FuncAt(m.CPU.PC); f != nil {
+			entry = f.F.Name
+		}
+		m.profiler = newFuncProfiler(entry, m.res.Cycles)
+	}
+	return m.profiler
+}
+
+// Profiler returns the enabled profiler, or nil.
+func (m *Machine) Profiler() *FuncProfiler { return m.profiler }
+
+// charge adds cost to the modeled cycle count and attributes it to the
+// instruction class. Small enough to inline into the dispatch loop.
+func (m *Machine) charge(k isa.Kind, cost float64) {
+	m.res.Cycles += cost
+	m.res.ClassCycles[k] += cost
+}
+
 func (m *Machine) flushTLB() {
 	for i := range m.tlb {
 		m.tlb[i].valid = false
@@ -112,8 +169,10 @@ func (m *Machine) slab(addr uint64) *tlbEntry {
 	page := addr >> mem.PageShift
 	e := &m.tlb[page&7]
 	if e.valid && e.page == page {
+		m.res.TLBHits++
 		return e
 	}
+	m.res.TLBMisses++
 	data, perm, ok := m.Proc.Space.Slab(addr)
 	if !ok {
 		return nil
@@ -169,6 +228,7 @@ func (m *Machine) write64(addr, v uint64) *mem.Fault {
 // stopFault finalizes execution on a memory fault, classifying booby traps.
 func (m *Machine) stopFault(pc uint64, f *mem.Fault) {
 	m.res.Fault = f
+	m.Proc.NoteFault(pc, f)
 	if kind := m.Proc.ClassifyFault(pc, f); kind != rt.TrapNone {
 		ev := rt.TrapEvent{Kind: kind, PC: pc, Addr: f.Addr}
 		m.Proc.RecordTrap(ev)
@@ -220,6 +280,9 @@ func (m *Machine) Run(maxInstr uint64) (*Result, error) {
 		m.res.MaxRSSBytes = m.Proc.Space.MaxRSSBytes()
 		m.res.Output = m.Proc.Output
 		m.res.ExitStatus = m.Proc.ExitStatus
+		if m.profiler != nil {
+			m.profiler.sync(m.res.Cycles)
+		}
 		return &m.res
 	}
 
@@ -249,11 +312,13 @@ func (m *Machine) Run(maxInstr uint64) (*Result, error) {
 		if line := addr >> 6; line != m.lastLine {
 			if m.ic.access(addr) {
 				m.res.Cycles += prof.ICacheMissPenalty
+				m.res.ICacheStallCycles += prof.ICacheMissPenalty
 			}
 			m.lastLine = line
 		}
 
 		m.res.Instructions++
+		m.res.ClassInstr[in.Kind]++
 		if m.SampleEvery > 0 && m.res.Instructions%m.SampleEvery == 0 {
 			m.res.RSSSamples = append(m.res.RSSSamples, m.Proc.Space.RSSBytes())
 		}
@@ -336,9 +401,12 @@ func (m *Machine) Run(maxInstr uint64) (*Result, error) {
 			if cpu.DirtyUpper {
 				cost += prof.AVXDirtyPenalty
 			}
-			m.res.Cycles += cost
+			m.charge(in.Kind, cost)
 			if !jump(target) {
 				return finish(), nil
+			}
+			if m.profiler != nil {
+				m.profiler.onCall(curF.F.Name, m.res.Cycles)
 			}
 			continue
 		case isa.KRet:
@@ -360,23 +428,34 @@ func (m *Machine) Run(maxInstr uint64) (*Result, error) {
 			if cpu.DirtyUpper {
 				cost += prof.AVXDirtyPenalty
 			}
-			m.res.Cycles += cost
+			m.charge(in.Kind, cost)
 			if !jump(ra) {
 				return finish(), nil
 			}
+			if m.profiler != nil {
+				m.profiler.onRet(curF.F.Name, m.res.Cycles)
+			}
 			continue
 		case isa.KJmp:
-			m.res.Cycles += cost
+			m.charge(in.Kind, cost)
+			prev := curF
 			if !jump(in.Target) {
 				return finish(), nil
+			}
+			if m.profiler != nil && curF != prev {
+				m.profiler.onJump(curF.F.Name, m.res.Cycles)
 			}
 			continue
 		case isa.KJz, isa.KJnz:
 			taken := (cpu.R[in.Src] == 0) == (in.Kind == isa.KJz)
 			if taken {
-				m.res.Cycles += cost
+				m.charge(in.Kind, cost)
+				prev := curF
 				if !jump(in.Target) {
 					return finish(), nil
+				}
+				if m.profiler != nil && curF != prev {
+					m.profiler.onJump(curF.F.Name, m.res.Cycles)
 				}
 				continue
 			}
@@ -439,18 +518,18 @@ func (m *Machine) Run(maxInstr uint64) (*Result, error) {
 			}
 			m.flushTLB()
 			if m.res.Halted {
-				m.res.Cycles += cost
+				m.charge(in.Kind, cost)
 				return finish(), nil
 			}
 		case isa.KHalt:
 			m.res.Halted = true
-			m.res.Cycles += cost
+			m.charge(in.Kind, cost)
 			return finish(), nil
 		default:
 			return finish(), fmt.Errorf("vm: at %#x: unimplemented %v", addr, in.Kind)
 		}
 
-		m.res.Cycles += cost
+		m.charge(in.Kind, cost)
 		curIdx = next
 		if curIdx >= len(curF.F.Instrs) {
 			return finish(), fmt.Errorf("vm: fell off the end of %s", curF.F.Name)
