@@ -16,16 +16,24 @@ vet:
 test:
 	$(GO) test ./...
 
-# The telemetry registry is the only concurrently-updated state; its tests
-# exercise it under the race detector.
+# Concurrently-updated state lives in the telemetry registry and the exec
+# engine (worker pool + build cache); their tests — and the bench drivers
+# that fan cells through them — run under the race detector.
 test-race:
-	$(GO) test -race ./internal/telemetry/ ./internal/sim/
+	$(GO) test -race ./internal/telemetry/ ./internal/sim/ ./internal/exec/ ./internal/bench/
 
+# Go micro-benchmarks plus one real harness run per label, each emitting a
+# BENCH_<label>.json metrics snapshot (cache hit/miss counters, pool gauges,
+# cycle totals) for before/after comparison.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -count=1 -run=^$$ .
+	$(GO) run ./cmd/r2cbench -scale 8 -runs 1 -metrics-out BENCH_figure6.json figure6
+	$(GO) run ./cmd/r2cattack -trials 4 -metrics-out BENCH_table3.json table3
 
-# The tier-1 gate: what CI runs.
+# The tier-1 gate: what CI runs. The exec engine's tests are cheap enough to
+# always take the race detector.
 check: build vet test
+	$(GO) test -race ./internal/exec/
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,7 @@ import (
 	"r2c/internal/attack"
 	"r2c/internal/bench"
 	"r2c/internal/defense"
+	"r2c/internal/exec"
 	"r2c/internal/mvee"
 	"r2c/internal/telemetry"
 	"r2c/internal/vm"
@@ -29,6 +30,7 @@ var allExperiments = []string{"table3", "prob", "sidechannel", "sidechannel-hard
 
 func main() {
 	trials := flag.Int("trials", 10, "Monte-Carlo trials per defense/attack cell")
+	jobs := flag.Int("jobs", 0, "parallel trials/simulation cells (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	overheads := flag.Bool("overheads", false, "also measure Table 3 overhead column (slow)")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (probe/detection/outcome counters) to FILE on exit")
 	traceOut := flag.String("trace", "", "stream structured events (traps, faults, probes, outcomes) to FILE as JSONL")
@@ -59,7 +61,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
 		os.Exit(1)
 	}
-	opt := bench.Options{Scale: 4, Runs: 1, Out: os.Stdout, Obs: sinks.Obs}
+	// One engine for the whole invocation; the attack package additionally
+	// routes every victim/reference build through its cache, which collapses
+	// the Monte-Carlo campaigns' repeated same-seed rebuilds (worker-pool
+	// restarts, persistent retries) to one compile+link each.
+	eng := exec.New(*jobs, sinks.Obs)
+	attack.UseBuildCache(eng.Cache)
+	opt := bench.Options{Scale: 4, Runs: 1, Out: os.Stdout, Obs: sinks.Obs, Jobs: *jobs, Eng: eng}
 
 	run := func(name string) error {
 		defer sinks.Obs.Timer("attack.experiment", "name", name).Time()()
@@ -94,10 +102,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	printRunFooter("r2cattack", eng)
 	if err := sinks.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// printRunFooter reports the engine's effective parallelism and build-cache
+// economy for the whole invocation.
+func printRunFooter(tool string, eng *exec.Engine) {
+	hits, misses, bypasses := eng.Cache.Stats()
+	fmt.Printf("[%s: %d jobs; build cache: %d hits / %d misses (%.1f%% hit rate)",
+		tool, eng.Jobs(), hits, misses, 100*eng.Cache.HitRate())
+	if bypasses > 0 {
+		fmt.Printf(", %d uncacheable", bypasses)
+	}
+	fmt.Printf("]\n")
 }
 
 func known(name string) bool {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"r2c/internal/bench"
+	"r2c/internal/exec"
 	"r2c/internal/telemetry"
 )
 
@@ -49,6 +50,7 @@ func knownExperiments() []string {
 func main() {
 	scale := flag.Int("scale", 1, "workload scale divisor (1 = full calibrated size)")
 	runs := flag.Int("runs", 3, "differently-seeded builds per measurement (median)")
+	jobs := flag.Int("jobs", 0, "parallel simulation cells (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to FILE on exit")
 	traceOut := flag.String("trace", "", "stream structured events (traps, faults, BTDP init) to FILE as JSONL")
 	profile := flag.Bool("profile", false, "collect per-function simulated-cycle profiles and print the hot-function table")
@@ -98,7 +100,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
 		os.Exit(1)
 	}
-	opt := bench.Options{Scale: *scale, Runs: *runs, Out: os.Stdout, Obs: sinks.Obs}
+	// One engine for the whole invocation: experiments that rebuild the same
+	// (module, config, seed) — Figure 6's four machines, the ablation sweeps'
+	// shared baselines — hit the content-addressed build cache.
+	eng := exec.New(*jobs, sinks.Obs)
+	opt := bench.Options{Scale: *scale, Runs: *runs, Out: os.Stdout, Obs: sinks.Obs, Jobs: *jobs, Eng: eng}
 
 	for _, e := range selected {
 		start := time.Now()
@@ -115,8 +121,21 @@ func main() {
 	if *profile {
 		sinks.WriteHotFunctions(os.Stdout, *top)
 	}
+	printRunFooter("r2cbench", eng)
 	if err := sinks.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// printRunFooter reports the engine's effective parallelism and build-cache
+// economy for the whole invocation.
+func printRunFooter(tool string, eng *exec.Engine) {
+	hits, misses, bypasses := eng.Cache.Stats()
+	fmt.Printf("[%s: %d jobs; build cache: %d hits / %d misses (%.1f%% hit rate)",
+		tool, eng.Jobs(), hits, misses, 100*eng.Cache.HitRate())
+	if bypasses > 0 {
+		fmt.Printf(", %d uncacheable", bypasses)
+	}
+	fmt.Printf("]\n")
 }

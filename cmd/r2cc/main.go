@@ -20,10 +20,7 @@ import (
 	"strings"
 
 	"r2c/internal/attack"
-	"r2c/internal/codegen"
 	"r2c/internal/defense"
-	"r2c/internal/image"
-	"r2c/internal/rt"
 	"r2c/internal/sim"
 	"r2c/internal/telemetry"
 	"r2c/internal/tir"
@@ -72,14 +69,14 @@ func main() {
 		fatal(fmt.Errorf("unknown workload %q (SPEC name, nginx, apache, victim, or a .tir file)", flag.Arg(0)))
 	}
 
-	prog, err := codegen.Compile(mod, cfg, *seed)
+	// BuildImage is the same compile+link pipeline the experiment harnesses
+	// memoize in their build caches; going through it keeps the seed
+	// derivation in one place.
+	img, err := sim.BuildImage(mod, cfg, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	img, err := image.Link(prog, *seed*0x9e3779b97f4a7c15+1)
-	if err != nil {
-		fatal(err)
-	}
+	prog := img.Prog
 	st := mod.Stats()
 	fmt.Printf("%s under %s (seed %d): %d funcs, %d TIR instrs, %d call sites, text %d KiB, data %d KiB\n",
 		mod.Name, cfg.Name, *seed, st.Funcs, st.Instrs, st.CallSites,
@@ -147,7 +144,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		proc, err := rt.NewProcessObserved(img, *seed*0xbf58476d1ce4e5b9+2, sinks.Obs)
+		proc, err := sim.NewProcessFromImage(img, *seed, sinks.Obs)
 		if err != nil {
 			fatal(err)
 		}

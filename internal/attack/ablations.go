@@ -7,7 +7,6 @@ import (
 	"r2c/internal/defense"
 	"r2c/internal/isa"
 	"r2c/internal/rng"
-	"r2c/internal/sim"
 	"r2c/internal/telemetry"
 	"r2c/internal/vm"
 )
@@ -22,8 +21,8 @@ import (
 // required caller of the paused helper frame (for the per-callee ablation,
 // which must observe two distinct call sites).
 func newScenarioOpts(cfg defense.Config, seed uint64, reroll bool, rerollSeed uint64, wantCaller string, obs *telemetry.Observer) (*Scenario, error) {
-	m := Victim()
-	proc, err := sim.BuildObserved(m, cfg, seed, obs)
+	m := victimModule()
+	proc, err := buildVictim(m, cfg, seed, reroll, obs)
 	if err != nil {
 		return nil, err
 	}

@@ -3,8 +3,11 @@ package attack
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"r2c/internal/defense"
+	"r2c/internal/exec"
 	"r2c/internal/image"
 	"r2c/internal/isa"
 	"r2c/internal/rng"
@@ -73,7 +76,50 @@ func NewScenarioObserved(cfg defense.Config, victimSeed uint64, obs *telemetry.O
 	return newScenarioOpts(cfg, victimSeed, false, 0, "", obs)
 }
 
+// buildCache, when installed, memoizes victim and reference compile+link
+// across scenarios. Monte-Carlo campaigns rebuild the same victim under the
+// same (config, seed) many times — every worker-pool restart, every
+// persistent-attack retry — and those builds are bit-identical, so the
+// harnesses (cmd/r2cattack) share one content-addressed cache here.
+var buildCache atomic.Pointer[exec.Cache]
+
+// UseBuildCache routes all victim and reference builds through c. Pass the
+// engine's cache once at harness startup; a nil c restores direct builds.
+func UseBuildCache(c *exec.Cache) { buildCache.Store(c) }
+
+// victimModule returns the module scenarios are built from. With a build
+// cache installed the (immutable) victim module is shared across scenarios,
+// so its content hash is computed once; otherwise each scenario gets its own
+// copy, exactly as before.
+var (
+	victimOnce   sync.Once
+	victimShared *tir.Module
+)
+
+func victimModule() *tir.Module {
+	if buildCache.Load() == nil {
+		return Victim()
+	}
+	victimOnce.Do(func() { victimShared = Victim() })
+	return victimShared
+}
+
+// buildVictim loads a fresh victim process, through the build cache when one
+// is installed. willMutate marks scenarios that patch the image after
+// loading (the dynamic-BTRA reroll ablation); those always build privately
+// so a mutation can never reach a shared cached image.
+func buildVictim(m *tir.Module, cfg defense.Config, seed uint64, willMutate bool, obs *telemetry.Observer) (*rt.Process, error) {
+	if c := buildCache.Load(); c != nil && !willMutate {
+		return c.Process(m, cfg, seed, obs)
+	}
+	return sim.BuildObserved(m, cfg, seed, obs)
+}
+
 func buildRef(m *tir.Module, cfg defense.Config, seed uint64) (*image.Image, error) {
+	if c := buildCache.Load(); c != nil {
+		img, _, err := c.Image(m, cfg, seed)
+		return img, err
+	}
 	p, err := sim.Build(m, cfg, seed)
 	if err != nil {
 		return nil, err

@@ -28,6 +28,9 @@ type AblationResult struct {
 
 // Ablations measures the design-choice ablations on the EPYC Rome profile.
 func Ablations(opt Options) (*AblationResult, error) {
+	// One engine across the four sweeps: every sweep re-measures the same
+	// baselines, which the shared build cache collapses to one build each.
+	opt = opt.withEngine()
 	res := &AblationResult{BTRACountPct: map[int]float64{}}
 	prof := vm.EPYCRome()
 

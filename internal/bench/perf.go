@@ -13,7 +13,7 @@ import (
 	"sort"
 
 	"r2c/internal/defense"
-	"r2c/internal/sim"
+	"r2c/internal/exec"
 	"r2c/internal/stats"
 	"r2c/internal/telemetry"
 	"r2c/internal/tir"
@@ -35,6 +35,24 @@ type Options struct {
 	// Nil disables collection; the measured cycle counts are identical
 	// either way.
 	Obs *telemetry.Observer
+	// Jobs is the worker-pool width used when Eng is nil (0 = GOMAXPROCS,
+	// 1 = serial). Reported numbers are byte-identical at any width.
+	Jobs int
+	// Eng is the execution engine (bounded worker pool + content-addressed
+	// build cache) the experiments fan their simulation cells through. Nil
+	// makes each experiment construct its own from Jobs/Obs; the cmd
+	// harnesses share one engine across experiments so identical
+	// (module, config, seed) builds memoize across tables and figures.
+	Eng *exec.Engine
+}
+
+// withEngine returns opt with Eng populated, constructing a default engine
+// from Jobs/Obs when the caller did not supply a shared one.
+func (o Options) withEngine() Options {
+	if o.Eng == nil {
+		o.Eng = exec.New(o.Jobs, o.Obs)
+	}
+	return o
 }
 
 func (o Options) scale() int {
@@ -57,18 +75,24 @@ func (o Options) printf(format string, args ...any) {
 	}
 }
 
-// medianCycles builds and runs m under cfg `runs` times with distinct seeds
-// and returns the median modeled cycle count.
-func medianCycles(m *tir.Module, cfg defense.Config, prof *vm.Profile, runs int, seedBase uint64, obs *telemetry.Observer) (float64, error) {
-	var cycles []float64
-	for i := 0; i < runs; i++ {
-		res, _, err := sim.RunObserved(m, cfg, seedBase+uint64(i)*1000003, prof, obs)
-		if err != nil {
-			return 0, fmt.Errorf("%s: %w", cfg.Name, err)
-		}
-		cycles = append(cycles, res.Cycles)
+// cellsFor plans one run group: `runs` cells over m/cfg/prof with the
+// historical seed schedule seedBase + i*1000003.
+func cellsFor(m *tir.Module, cfg defense.Config, prof *vm.Profile, runs int, seedBase uint64) []exec.Cell {
+	cells := make([]exec.Cell, runs)
+	for i := range cells {
+		cells[i] = exec.Cell{Module: m, Cfg: cfg, Seed: seedBase + uint64(i)*1000003, Prof: prof}
 	}
-	return stats.Median(cycles), nil
+	return cells
+}
+
+// medianCycles reduces one run group's results to the median modeled cycle
+// count.
+func medianCycles(results []*vm.Result) float64 {
+	cycles := make([]float64, len(results))
+	for i, res := range results {
+		cycles[i] = res.Cycles
+	}
+	return stats.Median(cycles)
 }
 
 // Overheads holds per-benchmark overhead ratios for one configuration.
@@ -77,11 +101,18 @@ type Overheads struct {
 	ByBench map[string]float64 // ratio, e.g. 1.06
 }
 
-// Geomean returns the geometric mean ratio across benchmarks.
+// Geomean returns the geometric mean ratio across benchmarks. Benchmarks are
+// folded in sorted name order: float accumulation is order-sensitive, and a
+// map-range order here would make repeated runs differ in the last bits.
 func (o *Overheads) Geomean() float64 {
-	var xs []float64
-	for _, v := range o.ByBench {
-		xs = append(xs, v)
+	names := make([]string, 0, len(o.ByBench))
+	for n := range o.ByBench {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	xs := make([]float64, 0, len(names))
+	for _, n := range names {
+		xs = append(xs, o.ByBench[n])
 	}
 	return stats.GeoMean(xs)
 }
@@ -103,30 +134,66 @@ func (o *Overheads) Max() (string, float64) {
 }
 
 // MeasureOverheads computes per-benchmark overhead ratios of each config
-// against the unprotected baseline on the given machine profile.
+// against the unprotected baseline on the given machine profile. All
+// (benchmark × config × run) cells are planned up front and fanned through
+// the execution engine; results merge in submission order, so the measured
+// ratios are byte-identical at every pool width.
 func MeasureOverheads(cfgs []defense.Config, prof *vm.Profile, opt Options) ([]Overheads, error) {
+	opt = opt.withEngine()
 	defer opt.Obs.Timer("bench.measure", "machine", prof.Name).Time()()
 	specs := workload.SPEC()
-	base := make(map[string]float64)
+	runs := opt.runs()
+
+	// Plan the flat cell list: every benchmark's baseline group first, then
+	// one group per (config, benchmark), preserving the historical seed
+	// schedule (base 17 for baselines, 31 for configs, stride 1000003).
+	type cellMeta struct {
+		bench, cfg string
+		baseline   bool
+	}
+	var cells []exec.Cell
+	var metas []cellMeta
+	addGroup := func(m *tir.Module, bench string, cfg defense.Config, seedBase uint64, baseline bool) {
+		cells = append(cells, cellsFor(m, cfg, prof, runs, seedBase)...)
+		for i := 0; i < runs; i++ {
+			metas = append(metas, cellMeta{bench: bench, cfg: cfg.Name, baseline: baseline})
+		}
+	}
 	modules := make(map[string]*tir.Module)
 	for _, b := range specs {
 		m := b.Build(opt.scale())
 		modules[b.Name] = m
-		c, err := medianCycles(m, defense.Off(), prof, opt.runs(), 17, opt.Obs)
-		if err != nil {
-			return nil, fmt.Errorf("%s baseline: %w", b.Name, err)
+		addGroup(m, b.Name, defense.Off(), 17, true)
+	}
+	for _, cfg := range cfgs {
+		for _, b := range specs {
+			addGroup(modules[b.Name], b.Name, cfg, 31, false)
 		}
-		base[b.Name] = c
+	}
+
+	results, err := opt.Eng.RunCells(cells)
+	if err != nil {
+		i, cause := exec.SplitError(err)
+		mt := metas[i]
+		inner := fmt.Errorf("%s: %w", mt.cfg, cause)
+		if mt.baseline {
+			return nil, fmt.Errorf("%s baseline: %w", mt.bench, inner)
+		}
+		return nil, fmt.Errorf("%s %s: %w", mt.bench, mt.cfg, inner)
+	}
+
+	base := make(map[string]float64)
+	off := 0
+	for _, b := range specs {
+		base[b.Name] = medianCycles(results[off : off+runs])
+		off += runs
 	}
 	var out []Overheads
 	for _, cfg := range cfgs {
 		ov := Overheads{Config: cfg.Name, ByBench: map[string]float64{}}
 		for _, b := range specs {
-			c, err := medianCycles(modules[b.Name], cfg, prof, opt.runs(), 31, opt.Obs)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", b.Name, cfg.Name, err)
-			}
-			ov.ByBench[b.Name] = stats.Overhead(c, base[b.Name])
+			ov.ByBench[b.Name] = stats.Overhead(medianCycles(results[off:off+runs]), base[b.Name])
+			off += runs
 		}
 		out = append(out, ov)
 	}
@@ -181,18 +248,29 @@ type Table2Row struct {
 // run at their calibrated full size here (a baseline-only run is cheap and
 // several benchmarks have a fixed-size hot loop that cannot scale down).
 func Table2(opt Options) ([]Table2Row, error) {
+	opt = opt.withEngine()
+	specs := workload.SPEC()
+	runs := opt.runs()
+	var cells []exec.Cell
+	for _, b := range specs {
+		m := b.Build(1)
+		for i := 0; i < runs; i++ {
+			// Different seeds act as different inputs.
+			cells = append(cells, exec.Cell{Module: m, Cfg: defense.Off(), Seed: 100 + uint64(i)*77, Prof: vm.EPYCRome()})
+		}
+	}
+	results, err := opt.Eng.RunCells(cells)
+	if err != nil {
+		i, cause := exec.SplitError(err)
+		return nil, fmt.Errorf("%s: %w", specs[i/runs].Name, cause)
+	}
 	var rows []Table2Row
 	opt.printf("Table 2: median call frequencies (scaled to paper magnitude)\n")
 	opt.printf("%-10s %15s %18s %18s\n", "benchmark", "measured", "scaled", "paper")
-	for _, b := range workload.SPEC() {
-		var counts []uint64
-		for i := 0; i < opt.runs(); i++ {
-			// Different seeds act as different inputs.
-			res, _, err := sim.RunObserved(b.Build(1), defense.Off(), 100+uint64(i)*77, vm.EPYCRome(), opt.Obs)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", b.Name, err)
-			}
-			counts = append(counts, res.Calls)
+	for bi, b := range specs {
+		counts := make([]uint64, runs)
+		for i := 0; i < runs; i++ {
+			counts[i] = results[bi*runs+i].Calls
 		}
 		med := stats.MedianU64(counts)
 		row := Table2Row{
@@ -218,6 +296,10 @@ type Figure6Series struct {
 // calls to unprotected code) on the four machine profiles. The paper's
 // geomean band is 6.6–8.5%.
 func Figure6(opt Options) ([]Figure6Series, error) {
+	// One engine for all four machines: the modeled machines share builds
+	// (compile+link is machine-independent), so after the first profile every
+	// build is a cache hit.
+	opt = opt.withEngine()
 	var out []Figure6Series
 	for _, prof := range vm.AllMachines() {
 		ovs, err := MeasureOverheads([]defense.Config{defense.R2CFull()}, prof, opt)
@@ -225,8 +307,13 @@ func Figure6(opt Options) ([]Figure6Series, error) {
 			return nil, fmt.Errorf("%s: %w", prof.Name, err)
 		}
 		s := Figure6Series{Machine: prof.Name, ByBench: map[string]float64{}}
-		for n, v := range ovs[0].ByBench {
-			s.ByBench[n] = stats.Pct(v)
+		names := make([]string, 0, len(ovs[0].ByBench))
+		for n := range ovs[0].ByBench {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			s.ByBench[n] = stats.Pct(ovs[0].ByBench[n])
 		}
 		s.Geomean = stats.Pct(ovs[0].Geomean())
 		out = append(out, s)

@@ -75,6 +75,7 @@ func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
 	if trials <= 0 {
 		trials = 10
 	}
+	opt = opt.withEngine()
 	defer opt.Obs.Timer("bench.experiment", "name", "table3").Time()()
 	var rows []MatrixRow
 	for _, cfg := range table3Configs() {
@@ -96,18 +97,31 @@ func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
 		}
 		detections, total := 0, 0
 		for _, a := range attacks {
-			tally := &attack.Tally{}
-			for i := 0; i < trials; i++ {
+			// Each trial is an independent campaign against a fresh victim
+			// (its own seed, scenario and RNG), so the Monte-Carlo loop fans
+			// across the pool; outcomes land in per-trial slots and are
+			// tallied in trial order.
+			a := a
+			outcomes := make([]attack.Outcome, trials)
+			err := opt.Eng.Pool.Map(trials, func(i int) error {
 				seed := uint64(1000*i+7) + uint64(len(rows))*31
 				if a.run == nil { // PIROP: persistent across worker restarts
-					tally.Add(attack.PIROPPersistent(cfg, seed, 12))
-					continue
+					outcomes[i] = attack.PIROPPersistent(cfg, seed, 12)
+					return nil
 				}
 				s, err := attack.NewScenarioObserved(cfg, seed, opt.Obs)
 				if err != nil {
-					return nil, fmt.Errorf("%s/%s: %w", cfg.Name, a.name, err)
+					return fmt.Errorf("%s/%s: %w", cfg.Name, a.name, err)
 				}
-				tally.Add(a.run(s))
+				outcomes[i] = a.run(s)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			tally := &attack.Tally{}
+			for _, o := range outcomes {
+				tally.Add(o)
 			}
 			row.Tallies[a.name] = tally
 			detections += tally.Detected
@@ -162,20 +176,24 @@ func Prob(opt Options, trials int) ([]ProbPoint, error) {
 	if trials <= 0 {
 		trials = 60
 	}
+	opt = opt.withEngine()
 	var out []ProbPoint
 	for _, R := range []int{2, 5, 10} {
 		cfg := defense.R2CFull()
 		cfg.Name = fmt.Sprintf("r2c-%dbtras", R)
 		cfg.BTRAsPerCall = R
-		hits, picks := 0, 0
-		for i := 0; i < trials; i++ {
+		// Each trial's picks come from its own seeded scenario RNG, so the
+		// trials parallelize; per-trial counts are summed in trial order.
+		type trialCount struct{ hits, picks int }
+		counts := make([]trialCount, trials)
+		err := opt.Eng.Pool.Map(trials, func(i int) error {
 			s, err := attack.NewScenarioObserved(cfg, uint64(i)*97+3, opt.Obs)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			runs, err := s.CandidateRuns()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// The four innermost protected frames: helper, validate,
 			// process, serve.
@@ -185,11 +203,20 @@ func Prob(opt Options, trials int) ([]ProbPoint, error) {
 			}
 			for _, run := range runs[:n] {
 				pick := run[s.Rnd.Intn(len(run))]
-				picks++
+				counts[i].picks++
 				if s.IsRealRA(pick) {
-					hits++
+					counts[i].hits++
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hits, picks := 0, 0
+		for _, c := range counts {
+			hits += c.hits
+			picks += c.picks
 		}
 		p := float64(hits) / float64(picks)
 		pt := ProbPoint{

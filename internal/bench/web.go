@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"r2c/internal/defense"
+	"r2c/internal/exec"
 	"r2c/internal/sim"
 	"r2c/internal/stats"
 	"r2c/internal/telemetry"
@@ -27,8 +28,8 @@ type WebResult struct {
 // requests over modeled time. On machines where the paper shares cores
 // between wrk and the server (the 8-core i9-9900K), context-switch
 // pollution is modeled by flushing the i-cache once per request.
-func webRun(m *tir.Module, cfg defense.Config, prof *vm.Profile, seed uint64, requests float64, obs *telemetry.Observer) (float64, error) {
-	proc, err := sim.BuildObserved(m, cfg, seed, obs)
+func webRun(eng *exec.Engine, m *tir.Module, cfg defense.Config, prof *vm.Profile, seed uint64, requests float64, obs *telemetry.Observer) (float64, error) {
+	proc, err := eng.BuildProcess(m, cfg, seed)
 	if err != nil {
 		return 0, err
 	}
@@ -54,29 +55,65 @@ func webRun(m *tir.Module, cfg defense.Config, prof *vm.Profile, seed uint64, re
 // AMD EPYC Rome profiles. Paper: −13% (nginx) and −12% (Apache) on i9,
 // −3..4% on the AMD machines. Each number is the median of five runs.
 func Webserver(opt Options) ([]WebResult, error) {
+	opt = opt.withEngine()
 	requests := float64(workload.WebRequests / opt.scale())
-	var out []WebResult
 	runs := opt.runs()
 	if runs < 5 {
 		runs = 5 // the paper uses the median of five runs
 	}
-	for _, prof := range []*vm.Profile{vm.I99900K(), vm.EPYCRome()} {
-		for _, server := range []string{"nginx", "apache"} {
+	profs := []*vm.Profile{vm.I99900K(), vm.EPYCRome()}
+	servers := []string{"nginx", "apache"}
+
+	// Flatten to independent tasks (webRun needs a custom machine setup, so
+	// these go through the pool directly rather than as engine cells).
+	type webTask struct {
+		prof     *vm.Profile
+		server   string
+		m        *tir.Module
+		cfg      defense.Config
+		seed     uint64
+		baseline bool
+	}
+	var tasks []webTask
+	for _, prof := range profs {
+		for _, server := range servers {
 			b, _ := workload.ByName(server)
 			m := b.Build(opt.scale())
-			var base, prot []float64
 			for i := 0; i < runs; i++ {
 				seed := uint64(41 + i*131)
-				rb, err := webRun(m, defense.Off(), prof, seed, requests, opt.Obs)
-				if err != nil {
-					return nil, fmt.Errorf("%s baseline: %w", server, err)
-				}
-				rp, err := webRun(m, defense.R2CFull(), prof, seed+7, requests, opt.Obs)
-				if err != nil {
-					return nil, fmt.Errorf("%s r2c: %w", server, err)
-				}
-				base = append(base, rb)
-				prot = append(prot, rp)
+				tasks = append(tasks,
+					webTask{prof, server, m, defense.Off(), seed, true},
+					webTask{prof, server, m, defense.R2CFull(), seed + 7, false})
+			}
+		}
+	}
+	rps := make([]float64, len(tasks))
+	err := opt.Eng.Pool.Map(len(tasks), func(i int) error {
+		t := &tasks[i]
+		r, err := webRun(opt.Eng, t.m, t.cfg, t.prof, t.seed, requests, opt.Obs)
+		if err != nil {
+			kind := "r2c"
+			if t.baseline {
+				kind = "baseline"
+			}
+			return fmt.Errorf("%s %s: %w", t.server, kind, err)
+		}
+		rps[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []WebResult
+	idx := 0
+	for _, prof := range profs {
+		for _, server := range servers {
+			var base, prot []float64
+			for i := 0; i < runs; i++ {
+				base = append(base, rps[idx])
+				prot = append(prot, rps[idx+1])
+				idx += 2
 			}
 			mb2, mp := stats.Median(base), stats.Median(prot)
 			r := WebResult{
@@ -114,44 +151,62 @@ type MemResult struct {
 // median RSS (the separate monitoring process) for the webservers, where
 // child-process maxrss would mislead.
 func Memory(opt Options) (*MemResult, error) {
+	opt = opt.withEngine()
 	res := &MemResult{SPECMaxrssMinPct: 1e9}
-	var sampled []float64
-	for _, b := range workload.SPEC() {
+	specs := workload.SPEC()
+	type memRow struct {
+		maxrssPct, sampledPct float64
+	}
+	memRows := make([]memRow, len(specs))
+	err := opt.Eng.Pool.Map(len(specs), func(i int) error {
+		b := specs[i]
 		m := b.Build(opt.scale())
-		base, _, err := sim.RunObserved(m, defense.Off(), 3, vm.EPYCRome(), opt.Obs)
+		base, _, err := opt.Eng.Run(m, defense.Off(), 3, vm.EPYCRome())
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			return fmt.Errorf("%s: %w", b.Name, err)
 		}
-		full, _, err := sim.RunObserved(m, defense.R2CFull(), 5, vm.EPYCRome(), opt.Obs)
+		full, _, err := opt.Eng.Run(m, defense.R2CFull(), 5, vm.EPYCRome())
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			return fmt.Errorf("%s: %w", b.Name, err)
 		}
-		pct := (float64(full.MaxRSSBytes)/float64(base.MaxRSSBytes) - 1) * 100
+		// Sampled-RSS methodology cross-check (the builds are cache hits —
+		// same module content, config and seed as the maxrss runs above).
+		bs, err2 := sampledMedianRSS(opt.Eng, m, defense.Off(), 3, opt.Obs)
+		fs, err3 := sampledMedianRSS(opt.Eng, m, defense.R2CFull(), 5, opt.Obs)
+		if err2 != nil || err3 != nil {
+			return fmt.Errorf("%s sampling: %v %v", b.Name, err2, err3)
+		}
+		memRows[i] = memRow{
+			maxrssPct:  (float64(full.MaxRSSBytes)/float64(base.MaxRSSBytes) - 1) * 100,
+			sampledPct: (fs/bs - 1) * 100,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sampled []float64
+	for i, b := range specs {
+		pct := memRows[i].maxrssPct
 		if pct < res.SPECMaxrssMinPct {
 			res.SPECMaxrssMinPct = pct
 		}
 		if pct > res.SPECMaxrssMaxPct {
 			res.SPECMaxrssMaxPct = pct
 		}
-		// Sampled-RSS methodology cross-check.
-		bs, err2 := sampledMedianRSS(m, defense.Off(), 3, opt.Obs)
-		fs, err3 := sampledMedianRSS(m, defense.R2CFull(), 5, opt.Obs)
-		if err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("%s sampling: %v %v", b.Name, err2, err3)
-		}
-		sampled = append(sampled, (fs/bs-1)*100)
-		opt.printf("%-10s maxrss %+5.1f%%  sampled %+5.1f%%\n", b.Name, pct, (fs/bs-1)*100)
+		sampled = append(sampled, memRows[i].sampledPct)
+		opt.printf("%-10s maxrss %+5.1f%%  sampled %+5.1f%%\n", b.Name, pct, memRows[i].sampledPct)
 	}
 	res.SPECSampledPct = stats.Median(sampled)
 
 	// Webservers: sampled median RSS plus guard-page attribution.
 	bng, _ := workload.ByName("nginx")
 	m := bng.Build(opt.scale())
-	base, err := sampledMedianRSS(m, defense.Off(), 9, opt.Obs)
+	base, err := sampledMedianRSS(opt.Eng, m, defense.Off(), 9, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
-	protProc, err := sim.BuildObserved(m, defense.R2CFull(), 11, opt.Obs)
+	protProc, err := opt.Eng.BuildProcess(m, defense.R2CFull(), 11)
 	if err != nil {
 		return nil, err
 	}
@@ -183,8 +238,8 @@ func Memory(opt Options) (*MemResult, error) {
 	return res, nil
 }
 
-func sampledMedianRSS(m *tir.Module, cfg defense.Config, seed uint64, obs *telemetry.Observer) (float64, error) {
-	proc, err := sim.BuildObserved(m, cfg, seed, obs)
+func sampledMedianRSS(eng *exec.Engine, m *tir.Module, cfg defense.Config, seed uint64, obs *telemetry.Observer) (float64, error) {
+	proc, err := eng.BuildProcess(m, cfg, seed)
 	if err != nil {
 		return 0, err
 	}
@@ -220,21 +275,17 @@ type ScaleResult struct {
 // synthetic module under full R2C, verify it runs correctly, and report
 // the size handled (the paper compiles WebKit and Chromium, Section 6.3).
 func Scale(opt Options, funcs int) (*ScaleResult, error) {
+	// The engine's build cache matters most here: the browser-scale module is
+	// by far the most expensive compile, and the measurement run plus the
+	// size-inspection process share one build per config instead of two.
+	opt = opt.withEngine()
 	m := workload.BrowserScale(funcs)
 	st := m.Stats()
-	base, _, err := sim.RunObserved(m, defense.Off(), 1, vm.Xeon8358(), opt.Obs)
+	base, baseProc, err := opt.Eng.Run(m, defense.Off(), 1, vm.Xeon8358())
 	if err != nil {
 		return nil, err
 	}
-	baseProc, err := sim.Build(m, defense.Off(), 1)
-	if err != nil {
-		return nil, err
-	}
-	fullProc, err := sim.Build(m, defense.R2CFull(), 1)
-	if err != nil {
-		return nil, err
-	}
-	full, _, err := sim.RunObserved(m, defense.R2CFull(), 1, vm.Xeon8358(), opt.Obs)
+	full, fullProc, err := opt.Eng.Run(m, defense.R2CFull(), 1, vm.Xeon8358())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,22 @@
+package defense
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a stable digest of every configuration knob. Configs
+// with equal fingerprints drive the toolchain identically, so the
+// fingerprint serves as the config component of a build-cache key.
+//
+// The digest is computed over the %#v rendering of the struct, which spells
+// out each field by name in declaration order: a Config is a flat record of
+// strings, integers and booleans, so the rendering is deterministic, and any
+// field added to Config in the future is picked up automatically — a new
+// knob can never silently alias two distinct configurations onto one cached
+// build.
+func (c Config) Fingerprint() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", c)))
+	return hex.EncodeToString(sum[:])
+}

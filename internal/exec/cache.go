@@ -1,0 +1,173 @@
+// Package exec is the experiment execution engine: a bounded worker pool
+// that fans independent simulation cells across goroutines with a
+// deterministic, submission-ordered merge, plus a content-addressed build
+// cache that memoizes the compile+link half of the toolchain. The paper's
+// evaluation sweeps configs × workloads × machines × seeds with a fresh
+// re-diversified build per run (Section 6.2); the sweep cells are pure
+// functions of (module content, defense config, seed, machine profile), so
+// they parallelize and memoize freely — the engine exploits both without
+// giving up the bit-for-bit determinism the sim determinism tests lock in.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"r2c/internal/defense"
+	"r2c/internal/image"
+	"r2c/internal/rt"
+	"r2c/internal/sim"
+	"r2c/internal/telemetry"
+	"r2c/internal/tir"
+)
+
+// Key identifies one build: module content, configuration fingerprint, and
+// diversification seed. Builds with equal keys are bit-identical, because
+// the whole toolchain (codegen, linker, loader) is a pure function of these
+// three values.
+type Key struct {
+	Module string // hex of tir.Module.ContentHash
+	Config string // defense.Config.Fingerprint
+	Seed   uint64
+}
+
+// KeyFor computes the build-cache key for a cell. Module content hashes are
+// memoized per *Module (workload builders return a fresh, immutable module
+// per call; hashing a browser-scale module once instead of once per cell
+// keeps the key computation off the profile).
+func KeyFor(m *tir.Module, cfg defense.Config, seed uint64) Key {
+	return Key{Module: moduleHash(m), Config: cfg.Fingerprint(), Seed: seed}
+}
+
+// moduleHashes memoizes ContentHash by module pointer. Modules handed to the
+// engine must not be mutated afterwards — the same immutability the parallel
+// cells themselves rely on (codegen only reads the module).
+var moduleHashes sync.Map // *tir.Module -> string
+
+func moduleHash(m *tir.Module) string {
+	if h, ok := moduleHashes.Load(m); ok {
+		return h.(string)
+	}
+	sum := m.ContentHash()
+	const hexdigits = "0123456789abcdef"
+	b := make([]byte, 0, 2*len(sum))
+	for _, x := range sum {
+		b = append(b, hexdigits[x>>4], hexdigits[x&0xf])
+	}
+	h, _ := moduleHashes.LoadOrStore(m, string(b))
+	return h.(string)
+}
+
+// Cache memoizes sim.BuildImage results by content-addressed key. The cached
+// value is the immutable linked image; every run instantiates a fresh
+// rt.Process from it, so mutable process state (memory, heap, BTDP placement
+// RNG) never leaks between cells. Concurrent requests for the same key build
+// once (single-flight) and share the result.
+//
+// The one image mutator in the tree, rt.RerollBTRAs, only runs for configs
+// with InsecureDynamicBTRAs set (the Section 4.1 property-B ablation); the
+// cache refuses to memoize those configs so a reroll can never poison a
+// shared image.
+type Cache struct {
+	// Obs receives hit/miss counters and an entry-count gauge under the
+	// "exec.cache.*" namespace. Nil disables telemetry.
+	Obs *telemetry.Observer
+
+	mu      sync.Mutex
+	entries map[Key]*cacheEntry
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	bypasses atomic.Uint64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	img  *image.Image
+	err  error
+}
+
+// NewCache returns an empty build cache reporting into obs (may be nil).
+func NewCache(obs *telemetry.Observer) *Cache {
+	return &Cache{Obs: obs, entries: make(map[Key]*cacheEntry)}
+}
+
+// cacheable reports whether builds under cfg may be shared between runs.
+func cacheable(cfg *defense.Config) bool { return !cfg.InsecureDynamicBTRAs }
+
+// Image returns the linked image for (m, cfg, seed), building it on first
+// use and serving the identical *image.Image on every later request with the
+// same key. hit reports whether the image came from the cache.
+func (c *Cache) Image(m *tir.Module, cfg defense.Config, seed uint64) (img *image.Image, hit bool, err error) {
+	if c == nil || !cacheable(&cfg) {
+		if c != nil {
+			c.bypasses.Add(1)
+			c.Obs.Counter("exec.cache.bypasses").Inc()
+		}
+		img, err = sim.BuildImage(m, cfg, seed)
+		return img, false, err
+	}
+	key := KeyFor(m, cfg, seed)
+
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.Obs.Gauge("exec.cache.entries").Set(float64(len(c.entries)))
+	}
+	c.mu.Unlock()
+
+	// Single-flight: every requester offers the build closure; exactly one
+	// runs it and the rest block inside Do until the image is ready. The
+	// entry creator counts as the miss, later arrivals as hits (their work
+	// was shared even if they blocked on the in-flight build).
+	e.once.Do(func() { e.img, e.err = sim.BuildImage(m, cfg, seed) })
+	if ok {
+		c.hits.Add(1)
+		c.Obs.Counter("exec.cache.hits").Inc()
+	} else {
+		c.misses.Add(1)
+		c.Obs.Counter("exec.cache.misses").Inc()
+	}
+	return e.img, ok, e.err
+}
+
+// Process builds (or fetches) the image for (m, cfg, seed) and loads it into
+// a fresh process, exactly as sim.BuildObserved would: same seed derivation,
+// same load-time randomness, same telemetry hooks.
+func (c *Cache) Process(m *tir.Module, cfg defense.Config, seed uint64, obs *telemetry.Observer) (*rt.Process, error) {
+	img, _, err := c.Image(m, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewProcessFromImage(img, seed, obs)
+}
+
+// Stats returns the cumulative hit/miss/bypass counts.
+func (c *Cache) Stats() (hits, misses, bypasses uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.hits.Load(), c.misses.Load(), c.bypasses.Load()
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup. Bypassed
+// (uncacheable) builds are excluded.
+func (c *Cache) HitRate() float64 {
+	h, m, _ := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len returns the number of cached images.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"r2c/internal/defense"
+	"r2c/internal/rt"
+	"r2c/internal/sim"
+	"r2c/internal/telemetry"
+	"r2c/internal/tir"
+	"r2c/internal/vm"
+)
+
+// Cell is one independent simulation: build (module, cfg, seed), load a
+// fresh process, run it to completion on a machine profile. Cells are pure —
+// the result is a function of the four fields — which is what lets the
+// engine run them in any order and reuse builds across them.
+type Cell struct {
+	Module *tir.Module
+	Cfg    defense.Config
+	Seed   uint64
+	Prof   *vm.Profile
+}
+
+// CellError wraps a cell failure with the index of the cell that failed, so
+// callers can attach experiment-level context (benchmark name, config) to
+// exactly the right cell.
+type CellError struct {
+	Index int
+	Err   error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying cell error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// SplitError extracts the failing cell index and the underlying cause from
+// a RunCells error, so callers can re-wrap the cause with the cell's
+// experiment-level context. Non-CellError errors return index 0 and the
+// error unchanged.
+func SplitError(err error) (int, error) {
+	var ce *CellError
+	if errors.As(err, &ce) {
+		return ce.Index, ce.Err
+	}
+	return 0, err
+}
+
+// Engine bundles the worker pool and the build cache behind one handle — the
+// thing experiment drivers carry around. A nil Engine is not usable; bench
+// constructs a default one when none is supplied.
+type Engine struct {
+	Pool  *Pool
+	Cache *Cache
+	// Obs is attached to every process the engine loads and receives the
+	// engine's own metrics (per-cell timers, pool gauges, cache counters).
+	Obs *telemetry.Observer
+}
+
+// New returns an engine with a fresh cache and a pool of the given width
+// (0 = GOMAXPROCS, 1 = serial). obs may be nil.
+func New(jobs int, obs *telemetry.Observer) *Engine {
+	return &Engine{Pool: NewPool(jobs, obs), Cache: NewCache(obs), Obs: obs}
+}
+
+// Jobs returns the engine's effective parallelism.
+func (e *Engine) Jobs() int { return e.Pool.Width() }
+
+// BuildProcess returns a fresh process for (m, cfg, seed), reusing a cached
+// image when one exists. Behaviour is bit-identical to sim.BuildObserved.
+func (e *Engine) BuildProcess(m *tir.Module, cfg defense.Config, seed uint64) (*rt.Process, error) {
+	return e.Cache.Process(m, cfg, seed, e.Obs)
+}
+
+// Run executes one cell on the calling goroutine: cached build, fresh
+// process, full run. It mirrors sim.RunObserved exactly, modulo the build
+// memoization.
+func (e *Engine) Run(m *tir.Module, cfg defense.Config, seed uint64, prof *vm.Profile) (*vm.Result, *rt.Process, error) {
+	proc, err := e.BuildProcess(m, cfg, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.ExecProcess(proc, prof, e.Obs)
+	return res, proc, err
+}
+
+// RunCells fans the cells across the pool and returns their results in
+// submission order. Every cell runs to completion even if another fails; on
+// failure the returned error is a *CellError for the lowest failing index,
+// so both results and errors are independent of scheduling. Identical
+// (module, cfg, seed) cells share one build through the cache but never a
+// process.
+func (e *Engine) RunCells(cells []Cell) ([]*vm.Result, error) {
+	results := make([]*vm.Result, len(cells))
+	timer := e.Obs.Timer("exec.cell")
+	err := e.Pool.Map(len(cells), func(i int) error {
+		stop := timer.Time()
+		defer stop()
+		c := &cells[i]
+		res, _, err := e.Run(c.Module, c.Cfg, c.Seed, c.Prof)
+		if err != nil {
+			return &CellError{Index: i, Err: err}
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

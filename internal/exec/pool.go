@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"r2c/internal/telemetry"
+)
+
+// Pool is a bounded worker pool for independent work items. Items are
+// identified by index; callers write results into index-addressed slots, so
+// the merged output is in submission order no matter how the scheduler
+// interleaves workers — the property that keeps a -jobs 8 sweep byte-
+// identical to -jobs 1.
+type Pool struct {
+	// Jobs is the worker count: 0 means GOMAXPROCS, 1 runs serially on the
+	// caller's goroutine.
+	Jobs int
+	// Obs receives the queue-depth gauge ("exec.pool.queue_depth") and the
+	// worker-count gauge ("exec.pool.workers"). Nil disables telemetry.
+	Obs *telemetry.Observer
+}
+
+// NewPool returns a pool with the given width (0 = GOMAXPROCS).
+func NewPool(jobs int, obs *telemetry.Observer) *Pool {
+	return &Pool{Jobs: jobs, Obs: obs}
+}
+
+// Width returns the effective worker count.
+func (p *Pool) Width() int {
+	if p == nil || p.Jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Jobs
+}
+
+// Map runs fn(0..n-1) across the pool and blocks until every index has run.
+// Every index runs even when another fails — partial execution would make
+// "which cells ran" depend on scheduling — and the returned error is the
+// failing cell with the lowest index, so error reporting is deterministic
+// too. fn must be safe for concurrent invocation on distinct indices and
+// should communicate results by writing to index-addressed storage.
+func (p *Pool) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	width := p.Width()
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	var obs *telemetry.Observer
+	if p != nil {
+		obs = p.Obs
+	}
+	obs.Gauge("exec.pool.workers").Set(float64(width))
+	depth := obs.Gauge("exec.pool.queue_depth")
+	var pending atomic.Int64
+	pending.Store(int64(n))
+	depth.Set(float64(n))
+
+	errs := make([]error, n)
+	next := atomic.Int64{}
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				depth.Set(float64(pending.Add(-1)))
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,9 +1,11 @@
 package sim_test
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
+	"r2c/internal/bench"
 	"r2c/internal/defense"
 	"r2c/internal/sim"
 	"r2c/internal/telemetry"
@@ -64,5 +66,45 @@ func TestTelemetryDoesNotPerturbRuns(t *testing.T) {
 		if got := snap.Counters[telemetry.Key("vm.instructions")]; got != obsRes.Instructions {
 			t.Errorf("%s: registry saw %d instructions, result has %d", cfg.Name, got, obsRes.Instructions)
 		}
+	}
+}
+
+// TestParallelEqualsSerial is the worker-pool determinism gate: the full
+// Table 1 and Figure 6 pipelines — printed tables included — must be
+// byte-identical between a serial engine (jobs=1) and a wide one (jobs=8).
+// The pool merges results by submission index and the build cache serves
+// immutable images, so scheduling must never be able to reach a reported
+// number.
+func TestParallelEqualsSerial(t *testing.T) {
+	if raceEnabled {
+		// This is a determinism gate, not a race gate, and the double full
+		// pipeline exceeds the race detector's budget on small machines; the
+		// engine's concurrency is raced in internal/exec and internal/bench.
+		t.Skip("skipping double benchmark pipeline under the race detector")
+	}
+	run := func(jobs int) (string, []bench.Table1Row, []bench.Figure6Series) {
+		var buf bytes.Buffer
+		opt := bench.Options{Scale: 16, Runs: 1, Out: &buf, Jobs: jobs}
+		t1, err := bench.Table1(opt)
+		if err != nil {
+			t.Fatalf("jobs=%d table1: %v", jobs, err)
+		}
+		f6, err := bench.Figure6(opt)
+		if err != nil {
+			t.Fatalf("jobs=%d figure6: %v", jobs, err)
+		}
+		return buf.String(), t1, f6
+	}
+	serialOut, serialT1, serialF6 := run(1)
+	parallelOut, parallelT1, parallelF6 := run(8)
+
+	if !reflect.DeepEqual(serialT1, parallelT1) {
+		t.Errorf("Table 1 rows diverge between jobs=1 and jobs=8:\nserial:   %+v\nparallel: %+v", serialT1, parallelT1)
+	}
+	if !reflect.DeepEqual(serialF6, parallelF6) {
+		t.Errorf("Figure 6 series diverge between jobs=1 and jobs=8:\nserial:   %+v\nparallel: %+v", serialF6, parallelF6)
+	}
+	if serialOut != parallelOut {
+		t.Errorf("printed tables diverge between jobs=1 and jobs=8:\n--- serial ---\n%s--- parallel ---\n%s", serialOut, parallelOut)
 	}
 }

@@ -35,19 +35,30 @@ func Build(m *tir.Module, cfg defense.Config, seed uint64) (*rt.Process, error) 
 // process, so load-time events (the BTDP constructor) and later traps and
 // faults reach the observer's sinks. obs may be nil.
 func BuildObserved(m *tir.Module, cfg defense.Config, seed uint64, obs *telemetry.Observer) (*rt.Process, error) {
+	img, err := BuildImage(m, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewProcessFromImage(img, seed, obs)
+}
+
+// BuildImage runs the immutable half of Build: compile and link, but do not
+// load. The result depends only on (module content, cfg, seed), carries no
+// mutable process state, and is what the exec build cache memoizes.
+func BuildImage(m *tir.Module, cfg defense.Config, seed uint64) (*image.Image, error) {
 	prog, err := codegen.Compile(m, cfg, seed)
 	if err != nil {
 		return nil, err
 	}
-	img, err := image.Link(prog, seed*0x9e3779b97f4a7c15+1)
-	if err != nil {
-		return nil, err
-	}
-	proc, err := rt.NewProcessObserved(img, seed*0xbf58476d1ce4e5b9+2, obs)
-	if err != nil {
-		return nil, err
-	}
-	return proc, nil
+	return image.Link(prog, seed*0x9e3779b97f4a7c15+1)
+}
+
+// NewProcessFromImage runs the mutable half of Build: load img into a fresh
+// address space and run load-time initialization, deriving the load-time
+// randomness from the same run seed Build uses — so a process created from a
+// cached image is bit-identical to one from a fresh build.
+func NewProcessFromImage(img *image.Image, seed uint64, obs *telemetry.Observer) (*rt.Process, error) {
+	return rt.NewProcessObserved(img, seed*0xbf58476d1ce4e5b9+2, obs)
 }
 
 // Run builds and executes a module to completion on the given profile.
@@ -67,6 +78,16 @@ func RunObserved(m *tir.Module, cfg defense.Config, seed uint64, prof *vm.Profil
 	if err != nil {
 		return nil, nil, err
 	}
+	res, err := ExecProcess(proc, prof, obs)
+	return res, proc, err
+}
+
+// ExecProcess runs an already-loaded process to completion on the given
+// profile, with RunObserved's telemetry and error semantics. It is the
+// shared back half of RunObserved and the exec engine's per-cell runner, so
+// a cell executed through the worker pool reports results and errors
+// identically to a serial sim.RunObserved call.
+func ExecProcess(proc *rt.Process, prof *vm.Profile, obs *telemetry.Observer) (*vm.Result, error) {
 	mach := vm.New(proc, prof)
 	if obs.Profiling() {
 		mach.EnableProfiler()
@@ -79,16 +100,16 @@ func RunObserved(m *tir.Module, cfg defense.Config, seed uint64, prof *vm.Profil
 		}
 	}
 	if err != nil {
-		return res, proc, err
+		return res, err
 	}
 	if res.Fault != nil {
-		return res, proc, fmt.Errorf("sim: run faulted: %v", res.Fault)
+		return res, fmt.Errorf("sim: run faulted: %v", res.Fault)
 	}
 	if res.Trap != nil {
-		return res, proc, fmt.Errorf("sim: booby trap fired at %#x (%v)", res.Trap.PC, res.Trap.Kind)
+		return res, fmt.Errorf("sim: booby trap fired at %#x (%v)", res.Trap.PC, res.Trap.Kind)
 	}
 	if !res.Halted {
-		return res, proc, fmt.Errorf("sim: did not halt")
+		return res, fmt.Errorf("sim: did not halt")
 	}
-	return res, proc, nil
+	return res, nil
 }

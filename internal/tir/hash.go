@@ -1,0 +1,100 @@
+package tir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+)
+
+// ContentHash returns a digest of the module's full semantic content: every
+// function (including Protected/NoReturn flags, locals and all instruction
+// operands) and every global (including initializers and function-pointer
+// tables). Two modules with equal content hash compile identically under the
+// same configuration and seed, which is what makes the hash usable as a
+// build-cache key — workload builders construct a fresh *Module per call,
+// so pointer identity cannot identify "the same program".
+//
+// The hash covers content only, never addresses or pointer values, and each
+// variable-length field is length-prefixed so field boundaries cannot alias.
+func (m *Module) ContentHash() [sha256.Size]byte {
+	h := sha256.New()
+	hstr(h, m.Name)
+	hstr(h, m.Entry)
+
+	hint(h, len(m.Globals))
+	for _, g := range m.Globals {
+		hstr(h, g.Name)
+		hu64(h, g.Size)
+		hint(h, int(g.Kind))
+		hint(h, len(g.Init))
+		for _, w := range g.Init {
+			hu64(h, w)
+		}
+		hstr(h, g.InitFunc)
+		hint(h, len(g.InitFuncs))
+		for _, fn := range g.InitFuncs {
+			hstr(h, fn)
+		}
+	}
+
+	hint(h, len(m.Funcs))
+	for _, f := range m.Funcs {
+		hstr(h, f.Name)
+		hint(h, f.NParams)
+		hint(h, f.NRegs)
+		hbool(h, f.Protected)
+		hbool(h, f.NoReturn)
+		hint(h, len(f.Locals))
+		for _, l := range f.Locals {
+			hstr(h, l.Name)
+			hu64(h, l.Size)
+		}
+		hint(h, len(f.Blocks))
+		for _, b := range f.Blocks {
+			hint(h, len(b.Instrs))
+			for _, in := range b.Instrs {
+				hint(h, int(in.Op))
+				hint(h, int(in.Dst))
+				hint(h, int(in.A))
+				hint(h, int(in.B))
+				hu64(h, in.Imm)
+				hu64(h, uint64(in.Off))
+				hint(h, in.Local)
+				hstr(h, in.Sym)
+				hint(h, len(in.Args))
+				for _, a := range in.Args {
+					hint(h, int(a))
+				}
+				hint(h, in.Target)
+				hint(h, in.Else)
+				hbool(h, in.HasArg)
+				hbool(h, in.Tail)
+			}
+		}
+	}
+
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+func hu64(h hash.Hash, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:])
+}
+
+func hint(h hash.Hash, v int) { hu64(h, uint64(int64(v))) }
+
+func hstr(h hash.Hash, s string) {
+	hint(h, len(s))
+	h.Write([]byte(s))
+}
+
+func hbool(h hash.Hash, v bool) {
+	if v {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+}
