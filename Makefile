@@ -30,10 +30,11 @@ bench:
 	$(GO) run ./cmd/r2cbench -scale 8 -runs 1 -metrics-out BENCH_figure6.json figure6
 	$(GO) run ./cmd/r2cattack -trials 4 -metrics-out BENCH_table3.json table3
 
-# The tier-1 gate: what CI runs. The exec engine's tests are cheap enough to
-# always take the race detector.
+# The tier-1 gate: what CI (.github/workflows/ci.yml) runs. The exec engine
+# and the telemetry package (ops HTTP server, span sinks, registry) are cheap
+# enough to always take the race detector.
 check: build vet test
-	$(GO) test -race ./internal/exec/
+	$(GO) test -race ./internal/exec/ ./internal/telemetry/
 
 clean:
 	$(GO) clean ./...

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] <table3|prob|sidechannel|ablations|aocr|all>
+//	r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome]
+//	          [-listen ADDR] [-forensics] <table3|prob|sidechannel|ablations|aocr|all>
 package main
 
 import (
@@ -33,9 +34,12 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel trials/simulation cells (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	overheads := flag.Bool("overheads", false, "also measure Table 3 overhead column (slow)")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (probe/detection/outcome counters) to FILE on exit")
-	traceOut := flag.String("trace", "", "stream structured events (traps, faults, probes, outcomes) to FILE as JSONL")
+	traceOut := flag.String("trace", "", "write structured events (traps, faults, probes, outcomes) and spans to FILE")
+	traceFormat := flag.String("trace-format", telemetry.TraceJSONL, "trace file format: jsonl or chrome (chrome://tracing / Perfetto)")
+	listen := flag.String("listen", "", "serve the live ops endpoint (/metrics, /healthz, /progress, /debug/pprof) on ADDR, e.g. :8642")
+	forensics := flag.Bool("forensics", false, "with table3: print the per-trial trap provenance table (which trap class caught each probe)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] <table3|prob|sidechannel|sidechannel-hardened|ablations|aocr|mvee|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-forensics] <table3|prob|sidechannel|sidechannel-hardened|ablations|aocr|mvee|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,7 +60,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	sinks, err := telemetry.OpenSinks(*metricsOut, *traceOut, false)
+	sinks, err := telemetry.OpenSinksOpts(telemetry.SinkOptions{
+		MetricsOut:     *metricsOut,
+		TraceOut:       *traceOut,
+		TraceFormat:    *traceFormat,
+		EnsureRegistry: *listen != "",
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
 		os.Exit(1)
@@ -68,12 +77,24 @@ func main() {
 	eng := exec.New(*jobs, sinks.Obs)
 	attack.UseBuildCache(eng.Cache)
 	opt := bench.Options{Scale: 4, Runs: 1, Out: os.Stdout, Obs: sinks.Obs, Jobs: *jobs, Eng: eng}
+	var ops *telemetry.OpsServer
+	if *listen != "" {
+		ops, err = telemetry.ServeOps(*listen, sinks.Obs.Reg(), func() any { return eng.Progress() })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[ops endpoint listening on %s]\n", ops.URL())
+	}
 
 	run := func(name string) error {
 		defer sinks.Obs.Timer("attack.experiment", "name", name).Time()()
 		switch name {
 		case "table3":
-			_, err := bench.Table3(opt, *trials, *overheads)
+			rows, err := bench.Table3(opt, *trials, *overheads)
+			if err == nil && *forensics {
+				bench.PrintForensics(opt, rows)
+			}
 			return err
 		case "prob":
 			_, err := bench.Prob(opt, 6**trials)
@@ -97,28 +118,23 @@ func main() {
 
 	for _, n := range names {
 		if err := run(n); err != nil {
+			ops.Close()
 			sinks.Close()
 			fmt.Fprintf(os.Stderr, "r2cattack %s: %v\n", n, err)
 			os.Exit(1)
 		}
 	}
-	printRunFooter("r2cattack", eng)
+	fmt.Println(eng.Footer("r2cattack"))
+	// Shut the ops server down before the sinks so no scrape can race the
+	// final metrics snapshot; Close drains in-flight requests and joins the
+	// serve goroutine.
+	if err := ops.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "r2cattack: ops shutdown: %v\n", err)
+	}
 	if err := sinks.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// printRunFooter reports the engine's effective parallelism and build-cache
-// economy for the whole invocation.
-func printRunFooter(tool string, eng *exec.Engine) {
-	hits, misses, bypasses := eng.Cache.Stats()
-	fmt.Printf("[%s: %d jobs; build cache: %d hits / %d misses (%.1f%% hit rate)",
-		tool, eng.Jobs(), hits, misses, 100*eng.Cache.HitRate())
-	if bypasses > 0 {
-		fmt.Printf(", %d uncacheable", bypasses)
-	}
-	fmt.Printf("]\n")
 }
 
 func known(name string) bool {

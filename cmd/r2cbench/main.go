@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-profile] <experiment>
+//	r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome]
+//	         [-listen ADDR] [-profile] <experiment>
 package main
 
 import (
@@ -52,11 +53,13 @@ func main() {
 	runs := flag.Int("runs", 3, "differently-seeded builds per measurement (median)")
 	jobs := flag.Int("jobs", 0, "parallel simulation cells (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to FILE on exit")
-	traceOut := flag.String("trace", "", "stream structured events (traps, faults, BTDP init) to FILE as JSONL")
+	traceOut := flag.String("trace", "", "write structured events and pipeline spans to FILE")
+	traceFormat := flag.String("trace-format", telemetry.TraceJSONL, "trace file format: jsonl or chrome (chrome://tracing / Perfetto)")
+	listen := flag.String("listen", "", "serve the live ops endpoint (/metrics, /healthz, /progress, /debug/pprof) on ADDR, e.g. :8642")
 	profile := flag.Bool("profile", false, "collect per-function simulated-cycle profiles and print the hot-function table")
 	top := flag.Int("top", 15, "rows in the -profile hot-function table")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-profile] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-profile] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments:")
 		for _, n := range knownExperiments() {
 			fmt.Fprintf(os.Stderr, " %s", n)
@@ -95,7 +98,15 @@ func main() {
 		}
 	}
 
-	sinks, err := telemetry.OpenSinks(*metricsOut, *traceOut, *profile)
+	sinks, err := telemetry.OpenSinksOpts(telemetry.SinkOptions{
+		MetricsOut:  *metricsOut,
+		TraceOut:    *traceOut,
+		TraceFormat: *traceFormat,
+		Profile:     *profile,
+		// The ops endpoint serves /metrics from the registry, so force one
+		// even when no file sink was requested.
+		EnsureRegistry: *listen != "",
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
 		os.Exit(1)
@@ -104,6 +115,15 @@ func main() {
 	// (module, config, seed) — Figure 6's four machines, the ablation sweeps'
 	// shared baselines — hit the content-addressed build cache.
 	eng := exec.New(*jobs, sinks.Obs)
+	var ops *telemetry.OpsServer
+	if *listen != "" {
+		ops, err = telemetry.ServeOps(*listen, sinks.Obs.Reg(), func() any { return eng.Progress() })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[ops endpoint listening on %s]\n", ops.URL())
+	}
 	opt := bench.Options{Scale: *scale, Runs: *runs, Out: os.Stdout, Obs: sinks.Obs, Jobs: *jobs, Eng: eng}
 
 	for _, e := range selected {
@@ -112,6 +132,7 @@ func main() {
 		err := e.run(opt)
 		stop()
 		if err != nil {
+			ops.Close()
 			sinks.Close()
 			fmt.Fprintf(os.Stderr, "r2cbench %s: %v\n", e.name, err)
 			os.Exit(1)
@@ -121,21 +142,15 @@ func main() {
 	if *profile {
 		sinks.WriteHotFunctions(os.Stdout, *top)
 	}
-	printRunFooter("r2cbench", eng)
+	fmt.Println(eng.Footer("r2cbench"))
+	// Shut the ops server down before the sinks so no scrape can race the
+	// final metrics snapshot; Close drains in-flight requests and joins the
+	// serve goroutine.
+	if err := ops.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "r2cbench: ops shutdown: %v\n", err)
+	}
 	if err := sinks.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// printRunFooter reports the engine's effective parallelism and build-cache
-// economy for the whole invocation.
-func printRunFooter(tool string, eng *exec.Engine) {
-	hits, misses, bypasses := eng.Cache.Stats()
-	fmt.Printf("[%s: %d jobs; build cache: %d hits / %d misses (%.1f%% hit rate)",
-		tool, eng.Jobs(), hits, misses, 100*eng.Cache.HitRate())
-	if bypasses > 0 {
-		fmt.Printf(", %d uncacheable", bypasses)
-	}
-	fmt.Printf("]\n")
 }

@@ -37,7 +37,8 @@ func main() {
 	runIt := flag.Bool("run", false, "execute the program and report statistics")
 	scale := flag.Int("scale", 8, "workload scale divisor")
 	metricsOut := flag.String("metrics-out", "", "with -run: write a JSON metrics snapshot to FILE")
-	traceOut := flag.String("trace", "", "stream structured runtime events to FILE as JSONL")
+	traceOut := flag.String("trace", "", "write structured runtime events (and spans) to FILE")
+	traceFormat := flag.String("trace-format", telemetry.TraceJSONL, "trace file format: jsonl or chrome (chrome://tracing / Perfetto)")
 	profile := flag.Bool("profile", false, "with -run: print the per-function simulated-cycle profile")
 	top := flag.Int("top", 15, "rows in the -profile hot-function table")
 	flag.Parse()
@@ -140,7 +141,12 @@ func main() {
 	}
 
 	if *runIt {
-		sinks, err := telemetry.OpenSinks(*metricsOut, *traceOut, *profile)
+		sinks, err := telemetry.OpenSinksOpts(telemetry.SinkOptions{
+			MetricsOut:  *metricsOut,
+			TraceOut:    *traceOut,
+			TraceFormat: *traceFormat,
+			Profile:     *profile,
+		})
 		if err != nil {
 			fatal(err)
 		}

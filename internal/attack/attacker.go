@@ -52,6 +52,11 @@ type Scenario struct {
 	// Detections counts booby traps fired by attacker probes before the
 	// victim even resumes (deref of a BTDP, etc.).
 	Detections int
+	// Forensics records, for every detection, which trap class caught the
+	// probe and which planted artifact it touched — the evidence trail the
+	// -forensics flag renders. Collection reads only immutable link/load
+	// metadata, so it never perturbs the campaign.
+	Forensics []ForensicHit
 	// staleness implements re-randomizing defenses (TASR, CodeArmor):
 	// each primitive use advances time; leaked addresses expire after
 	// cfg.ReRandomizePeriod steps.
@@ -127,6 +132,22 @@ func buildRef(m *tir.Module, cfg defense.Config, seed uint64) (*image.Image, err
 	return p.Img, nil
 }
 
+// ForensicHit is one detected probe with its resolved defense provenance.
+type ForensicHit struct {
+	// Via names the detection point: "btdp-read" (a disclosure probe
+	// dereferenced a guard page before the victim resumed) or "resume"
+	// (the resumed victim consumed a corrupted value and detonated).
+	Via  string
+	Prov rt.Provenance
+}
+
+func (h ForensicHit) String() string { return fmt.Sprintf("%-9s %s", h.Via, h.Prov.String()) }
+
+// noteForensic resolves and records the provenance of one detection.
+func (s *Scenario) noteForensic(via string, ev rt.TrapEvent) {
+	s.Forensics = append(s.Forensics, ForensicHit{Via: via, Prov: s.Proc.TrapProvenance(ev)})
+}
+
 // Leaked is a value the attacker read, with the time it was read (for
 // staleness under re-randomizing defenses).
 type Leaked struct {
@@ -154,6 +175,7 @@ func (s *Scenario) Read(addr uint64) (Leaked, error) {
 	if err != nil {
 		if s.Proc.IsGuardAddr(addr) {
 			s.Detections++
+			s.noteForensic("btdp-read", rt.TrapEvent{Kind: rt.TrapBTDP, Addr: addr})
 			s.Obs.Counter("attack.detections", "via", "btdp-read").Inc()
 			s.Obs.Emit("attack.detect", map[string]any{"via": "btdp-read", "addr": addr})
 			return Leaked{}, fmt.Errorf("attack: read %#x detonated a BTDP: %w", addr, err)
@@ -200,6 +222,9 @@ func (s *Scenario) LeakStack(nBytes uint64) ([]Leaked, error) {
 // Resume lets the victim run to completion and classifies what happened.
 func (s *Scenario) Resume() Outcome {
 	res, err := s.Mach.Run(sim.DefaultBudget)
+	if res.Trap != nil {
+		s.noteForensic("resume", *res.Trap)
+	}
 	var o Outcome
 	switch {
 	case s.Detections > 0 || res.Trap != nil:
@@ -219,6 +244,9 @@ func (s *Scenario) Resume() Outcome {
 // (for experiments that score only the final control-flow transfer).
 func (s *Scenario) ResumeOutcomeOnly() Outcome {
 	res, err := s.Mach.Run(sim.DefaultBudget)
+	if res.Trap != nil {
+		s.noteForensic("resume", *res.Trap)
+	}
 	var o Outcome
 	switch {
 	case res.Trap != nil:

@@ -6,6 +6,7 @@ import (
 	"r2c/internal/defense"
 	"r2c/internal/isa"
 	"r2c/internal/rng"
+	"r2c/internal/rt"
 )
 
 // refHelperFrame returns the attacker-copy frame geometry of the paused
@@ -136,6 +137,7 @@ func (s *Scenario) refGadgets(n int) []gadgetSpec {
 func (s *Scenario) judgeTransfer(victimAddr uint64, wantKind isa.Kind) Outcome {
 	img := s.Proc.Img
 	if img.IsBoobyTrapAddr(victimAddr) {
+		s.noteForensic("transfer", rt.TrapEvent{Kind: rt.TrapBTRA, PC: victimAddr})
 		return Detected
 	}
 	pf := img.FuncAt(victimAddr)
@@ -149,6 +151,11 @@ func (s *Scenario) judgeTransfer(victimAddr uint64, wantKind isa.Kind) Outcome {
 	in := &pf.F.Instrs[i]
 	// Executing an unintended trap (prolog traps) is a detection.
 	if in.Kind == isa.KTrap {
+		kind := rt.TrapProlog
+		if in.BTRA {
+			kind = rt.TrapBTRACheck
+		}
+		s.noteForensic("transfer", rt.TrapEvent{Kind: kind, PC: victimAddr})
 		return Detected
 	}
 	if in.Kind == wantKind {
@@ -219,6 +226,7 @@ func (s *Scenario) JITROP() Outcome {
 	// anchor was itself a booby trap (the window read above would already
 	// be inside a trap function's neighbourhood — judge by anchor).
 	if s.IsBTRA(ra) {
+		s.noteForensic("transfer", rt.TrapEvent{Kind: rt.TrapBTRA, PC: ra.Value})
 		return Detected
 	}
 	return Success
@@ -318,25 +326,36 @@ func (s *Scenario) PIROPAdjust(k int) Outcome {
 // restarts with the same image; each attempt is a fresh process instance.
 // It returns the first non-Failed outcome, or Failed after maxRestarts.
 func PIROPPersistent(cfg defense.Config, seed uint64, maxRestarts int) Outcome {
+	o, _ := PIROPPersistentForensic(cfg, seed, maxRestarts)
+	return o
+}
+
+// PIROPPersistentForensic is PIROPPersistent returning, alongside the
+// outcome, the forensic hits accumulated across every restart of the
+// campaign — each detection attributed to the trap class and planted
+// artifact that caught it.
+func PIROPPersistentForensic(cfg defense.Config, seed uint64, maxRestarts int) (Outcome, []ForensicHit) {
 	worst := Failed
+	var hits []ForensicHit
 	for i := 0; i < maxRestarts; i++ {
 		s, err := NewScenario(cfg, seed)
 		if err != nil {
-			return worst
+			return worst, hits
 		}
 		s.Rnd = rng.New(seed*1000003 + uint64(i)) // new attacker choices per try
 		o := s.PIROPAdjust(i % 16)                // probe the ASLR nibble systematically
+		hits = append(hits, s.Forensics...)
 		if o == Success {
-			return Success
+			return Success, hits
 		}
 		if o == Detected {
-			return Detected // the defender reacted; the campaign is burned
+			return Detected, hits // the defender reacted; the campaign is burned
 		}
 		if o == Crashed {
 			worst = Crashed
 		}
 	}
-	return worst
+	return worst, hits
 }
 
 // CrashSideChannel is the remaining attack surface of Section 7.3: with a

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 
 	"r2c/internal/attack"
 	"r2c/internal/defense"
@@ -59,6 +60,18 @@ type MatrixRow struct {
 	// DetectionRate is the fraction of attempts (across all attacks) that
 	// detonated a booby trap — the reactive component's yield.
 	DetectionRate float64
+	// Forensics holds the per-trial detection evidence (which trap class
+	// caught which probe), in (attack, trial) order; PrintForensics renders
+	// it when the harness runs with -forensics.
+	Forensics []TrialForensics
+}
+
+// TrialForensics is one Monte-Carlo trial's detection evidence.
+type TrialForensics struct {
+	Attack  string
+	Trial   int
+	Outcome attack.Outcome
+	Hits    []attack.ForensicHit
 }
 
 // table3Configs returns the Table 3 rows in order.
@@ -103,10 +116,11 @@ func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
 			// tallied in trial order.
 			a := a
 			outcomes := make([]attack.Outcome, trials)
-			err := opt.Eng.Pool.Map(trials, func(i int) error {
+			evidence := make([][]attack.ForensicHit, trials)
+			err := opt.Eng.MapTracked(trials, cfg.Name+"/"+a.name, func(i int) error {
 				seed := uint64(1000*i+7) + uint64(len(rows))*31
 				if a.run == nil { // PIROP: persistent across worker restarts
-					outcomes[i] = attack.PIROPPersistent(cfg, seed, 12)
+					outcomes[i], evidence[i] = attack.PIROPPersistentForensic(cfg, seed, 12)
 					return nil
 				}
 				s, err := attack.NewScenarioObserved(cfg, seed, opt.Obs)
@@ -114,14 +128,18 @@ func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
 					return fmt.Errorf("%s/%s: %w", cfg.Name, a.name, err)
 				}
 				outcomes[i] = a.run(s)
+				evidence[i] = s.Forensics
 				return nil
 			})
 			if err != nil {
 				return nil, err
 			}
 			tally := &attack.Tally{}
-			for _, o := range outcomes {
+			for i, o := range outcomes {
 				tally.Add(o)
+				row.Forensics = append(row.Forensics, TrialForensics{
+					Attack: a.name, Trial: i, Outcome: o, Hits: evidence[i],
+				})
 			}
 			row.Tallies[a.name] = tally
 			detections += tally.Detected
@@ -158,6 +176,44 @@ func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
 	return rows, nil
 }
 
+// PrintForensics renders the trap-provenance table behind the r2cattack
+// -forensics flag: for every trial that ended in detection, which trap class
+// caught the probe and which planted artifact (call-site BTRA slot, guard
+// page, prolog trap) the attacker touched, followed by a per-class summary.
+func PrintForensics(opt Options, rows []MatrixRow) {
+	opt.printf("\ntrap provenance forensics (detected trials):\n")
+	opt.printf("%-12s %-7s %5s  %s\n", "defense", "attack", "trial", "caught by")
+	byClass := map[string]int{}
+	hits := 0
+	for _, r := range rows {
+		for _, tf := range r.Forensics {
+			for j, h := range tf.Hits {
+				byClass[h.Prov.Kind.String()]++
+				hits++
+				if j == 0 {
+					opt.printf("%-12s %-7s %5d  %s\n", r.Defense, tf.Attack, tf.Trial, h)
+				} else {
+					opt.printf("%-12s %-7s %5s  %s\n", "", "", "", h)
+				}
+			}
+		}
+	}
+	if hits == 0 {
+		opt.printf("(no detections)\n")
+		return
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	opt.printf("trap classes:")
+	for _, c := range classes {
+		opt.printf(" %s=%d", c, byClass[c])
+	}
+	opt.printf(" (total %d hits)\n", hits)
+}
+
 // ProbPoint is one measurement of the BTRA guessing experiment.
 type ProbPoint struct {
 	R          int     // BTRAs per call site
@@ -186,7 +242,7 @@ func Prob(opt Options, trials int) ([]ProbPoint, error) {
 		// trials parallelize; per-trial counts are summed in trial order.
 		type trialCount struct{ hits, picks int }
 		counts := make([]trialCount, trials)
-		err := opt.Eng.Pool.Map(trials, func(i int) error {
+		err := opt.Eng.MapTracked(trials, cfg.Name, func(i int) error {
 			s, err := attack.NewScenarioObserved(cfg, uint64(i)*97+3, opt.Obs)
 			if err != nil {
 				return err

@@ -99,14 +99,39 @@ func cacheable(cfg *defense.Config) bool { return !cfg.InsecureDynamicBTRAs }
 // use and serving the identical *image.Image on every later request with the
 // same key. hit reports whether the image came from the cache.
 func (c *Cache) Image(m *tir.Module, cfg defense.Config, seed uint64) (img *image.Image, hit bool, err error) {
+	return c.ImageSpan(m, cfg, seed, nil, nil)
+}
+
+// ImageSpan is Image with pipeline tracing: a "cache-lookup" child span under
+// parent for the key resolution, and — when this requester is the one that
+// runs the build — a "build" child wrapping compile+link. track, when
+// non-nil, is called with the coarse phase name ("cache-lookup", "build")
+// as the cell moves through the pipeline, feeding the engine's /progress
+// snapshot. Both hooks are observational; the image built is identical to
+// Image's.
+//
+// Under cache sharing, which requester runs the single-flight build closure
+// is a scheduling accident, so the build span's parent (and thus its span id)
+// is only deterministic across -jobs widths when cells carry distinct keys.
+func (c *Cache) ImageSpan(m *tir.Module, cfg defense.Config, seed uint64, parent *telemetry.Span, track func(phase string)) (img *image.Image, hit bool, err error) {
+	if track != nil {
+		track("cache-lookup")
+	}
 	if c == nil || !cacheable(&cfg) {
 		if c != nil {
 			c.bypasses.Add(1)
 			c.Obs.Counter("exec.cache.bypasses").Inc()
 		}
-		img, err = sim.BuildImage(m, cfg, seed)
+		if track != nil {
+			track("build")
+		}
+		bs := parent.Child("build", seed)
+		bs.SetAttr("cache", "bypass")
+		img, err = sim.BuildImageSpan(m, cfg, seed, bs)
+		bs.End()
 		return img, false, err
 	}
+	ls := parent.Child("cache-lookup", seed)
 	key := KeyFor(m, cfg, seed)
 
 	c.mu.Lock()
@@ -117,12 +142,22 @@ func (c *Cache) Image(m *tir.Module, cfg defense.Config, seed uint64) (img *imag
 		c.Obs.Gauge("exec.cache.entries").Set(float64(len(c.entries)))
 	}
 	c.mu.Unlock()
+	ls.SetAttr("hit", ok)
+	ls.End()
 
 	// Single-flight: every requester offers the build closure; exactly one
 	// runs it and the rest block inside Do until the image is ready. The
 	// entry creator counts as the miss, later arrivals as hits (their work
 	// was shared even if they blocked on the in-flight build).
-	e.once.Do(func() { e.img, e.err = sim.BuildImage(m, cfg, seed) })
+	e.once.Do(func() {
+		if track != nil {
+			track("build")
+		}
+		bs := parent.Child("build", seed)
+		bs.SetAttr("cache", "miss")
+		e.img, e.err = sim.BuildImageSpan(m, cfg, seed, bs)
+		bs.End()
+	})
 	if ok {
 		c.hits.Add(1)
 		c.Obs.Counter("exec.cache.hits").Inc()

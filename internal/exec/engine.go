@@ -3,6 +3,8 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"r2c/internal/defense"
 	"r2c/internal/rt"
@@ -55,8 +57,14 @@ type Engine struct {
 	Pool  *Pool
 	Cache *Cache
 	// Obs is attached to every process the engine loads and receives the
-	// engine's own metrics (per-cell timers, pool gauges, cache counters).
+	// engine's own metrics (per-cell timers, pool gauges, cache counters)
+	// and the pipeline spans (batch → cell → cache-lookup/build/load/exec).
 	Obs *telemetry.Observer
+
+	// prog backs Progress; batchSeq keys one "exec.batch" root span per
+	// RunCells call. Both are observational only.
+	prog     progressState
+	batchSeq atomic.Uint64
 }
 
 // New returns an engine with a fresh cache and a pool of the given width
@@ -67,6 +75,28 @@ func New(jobs int, obs *telemetry.Observer) *Engine {
 
 // Jobs returns the engine's effective parallelism.
 func (e *Engine) Jobs() int { return e.Pool.Width() }
+
+// HitRateString formats a build-cache hit rate as a percentage, or "n/a"
+// when no cacheable lookup has happened — a zero-build run has no meaningful
+// rate, and 0/0 would otherwise render as NaN.
+func HitRateString(hits, misses uint64) string {
+	if hits+misses == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+}
+
+// Footer returns the one-line run summary the cmd harnesses print on exit:
+// effective parallelism and build-cache economy for the whole invocation.
+func (e *Engine) Footer(tool string) string {
+	hits, misses, bypasses := e.Cache.Stats()
+	s := fmt.Sprintf("[%s: %d jobs; build cache: %d hits / %d misses (%s hit rate)",
+		tool, e.Jobs(), hits, misses, HitRateString(hits, misses))
+	if bypasses > 0 {
+		s += fmt.Sprintf(", %d uncacheable", bypasses)
+	}
+	return s + "]"
+}
 
 // BuildProcess returns a fresh process for (m, cfg, seed), reusing a cached
 // image when one exists. Behaviour is bit-identical to sim.BuildObserved.
@@ -92,22 +122,88 @@ func (e *Engine) Run(m *tir.Module, cfg defense.Config, seed uint64, prof *vm.Pr
 // so both results and errors are independent of scheduling. Identical
 // (module, cfg, seed) cells share one build through the cache but never a
 // process.
+//
+// When the engine's observer carries a span sink, the batch traces as one
+// "exec.batch" root with a "cell" child per index (cache-lookup → build →
+// load → sim.exec children) and a final "merge" child. Span ids derive from
+// (parent, name, cell index), not from scheduling, so the same submission
+// produces the same span tree at any -jobs width.
 func (e *Engine) RunCells(cells []Cell) ([]*vm.Result, error) {
 	results := make([]*vm.Result, len(cells))
+	batch := e.Obs.StartSpan("exec.batch", e.batchSeq.Add(1))
+	batch.SetAttr("cells", len(cells))
+	defer batch.End()
+	e.prog.addBatch(len(cells))
+	submitted := time.Now()
 	timer := e.Obs.Timer("exec.cell")
-	err := e.Pool.Map(len(cells), func(i int) error {
+	err := e.Pool.MapW(len(cells), func(i, w int) error {
 		stop := timer.Time()
 		defer stop()
 		c := &cells[i]
-		res, _, err := e.Run(c.Module, c.Cfg, c.Seed, c.Prof)
+		handle, track := e.prog.begin(i, w)
+		defer e.prog.end(handle)
+		sp := batch.Child("cell", uint64(i))
+		defer sp.End()
+		sp.SetTID(w + 1)
+		sp.SetAttr("index", i)
+		sp.SetAttr("worker", w)
+		sp.SetAttr("seed", c.Seed)
+		sp.SetAttr("config", c.Cfg.Name)
+		sp.SetAttr("queued_ns", time.Since(submitted).Nanoseconds())
+		res, err := e.runCell(c, sp, track)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
 			return &CellError{Index: i, Err: err}
 		}
 		results[i] = res
 		return nil
 	})
+	merge := batch.Child("merge", 0)
+	merge.SetAttr("cells", len(cells))
+	if err != nil {
+		merge.SetAttr("error", err.Error())
+	}
+	merge.End()
 	if err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// MapTracked runs fn(0..n-1) across the pool with Pool.Map's semantics
+// while reporting each item to the engine's live Progress as an in-flight
+// cell in the given phase — so campaigns that do not go through RunCells
+// (the attack harness's Monte-Carlo trials) stay visible on /progress.
+func (e *Engine) MapTracked(n int, phase string, fn func(i int) error) error {
+	e.prog.addBatch(n)
+	return e.Pool.MapW(n, func(i, w int) error {
+		handle, track := e.prog.begin(i, w)
+		defer e.prog.end(handle)
+		track(phase)
+		return fn(i)
+	})
+}
+
+// runCell is the traced per-cell pipeline: cached image (cache-lookup and,
+// on a miss, build spans inside ImageSpan), process load, execution. It is
+// behaviorally identical to Run — the span and track arguments only observe.
+func (e *Engine) runCell(c *Cell, sp *telemetry.Span, track func(phase string)) (*vm.Result, error) {
+	img, hit, err := e.Cache.ImageSpan(c.Module, c.Cfg, c.Seed, sp, track)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		sp.SetAttr("cache", "hit")
+	} else {
+		sp.SetAttr("cache", "miss")
+	}
+	track("load")
+	ls := sp.Child("load", 0)
+	proc, err := sim.NewProcessFromImage(img, c.Seed, e.Obs)
+	ls.End()
+	if err != nil {
+		return nil, err
+	}
+	track("execute")
+	return sim.ExecProcessSpan(proc, c.Prof, e.Obs, sp)
 }

@@ -42,6 +42,14 @@ func (p *Pool) Width() int {
 // too. fn must be safe for concurrent invocation on distinct indices and
 // should communicate results by writing to index-addressed storage.
 func (p *Pool) Map(n int, fn func(i int) error) error {
+	return p.MapW(n, func(i, _ int) error { return fn(i) })
+}
+
+// MapW is Map with the worker index (0..Width-1) passed alongside the item
+// index, for instrumentation that wants to attribute work to lanes (span
+// thread ids, per-worker progress). Which worker runs which item is a
+// scheduling accident — results must never depend on w.
+func (p *Pool) MapW(n int, fn func(i, w int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -52,7 +60,7 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 	if width <= 1 {
 		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
+			if err := fn(i, 0); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -74,7 +82,7 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(width)
 	for w := 0; w < width; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -82,9 +90,9 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 					return
 				}
 				depth.Set(float64(pending.Add(-1)))
-				errs[i] = fn(i)
+				errs[i] = fn(i, w)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

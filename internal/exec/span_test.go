@@ -1,0 +1,133 @@
+package exec_test
+
+import (
+	"reflect"
+	"testing"
+
+	"r2c/internal/defense"
+	"r2c/internal/exec"
+	"r2c/internal/telemetry"
+	"r2c/internal/vm"
+)
+
+// spanShape is the scheduling-independent identity of one recorded span:
+// content-derived ID, parent link, and name. Wall-clock fields and lane
+// assignments (TID, worker attrs) legitimately vary between runs and widths.
+type spanShape struct {
+	ID, Parent uint64
+	Name       string
+}
+
+// runCellsSpans executes n distinct-seed cells through a fresh engine at the
+// given width and returns the recorded spans in deterministic (ID) order.
+// Distinct seeds matter: under cache sharing, which requester runs the
+// single-flight build closure is a scheduling accident, so only distinct
+// build keys pin every build span to a deterministic parent cell.
+func runCellsSpans(t *testing.T, jobs, n int) []telemetry.SpanData {
+	t.Helper()
+	col := &telemetry.SpanCollector{}
+	eng := exec.New(jobs, &telemetry.Observer{Spans: col})
+	m := testModule(t)
+	cells := make([]exec.Cell, n)
+	for i := range cells {
+		cells[i] = exec.Cell{Module: m, Cfg: defense.R2CFull(), Seed: uint64(100 + i), Prof: vm.EPYCRome()}
+	}
+	if _, err := eng.RunCells(cells); err != nil {
+		t.Fatal(err)
+	}
+	return col.Spans()
+}
+
+// The span tree of one batch must nest exactly as the pipeline executes:
+// batch → cell → cache-lookup/build/load/sim.exec, with compile and link
+// under the build span, and a final merge child under the batch.
+func TestRunCellsSpanNesting(t *testing.T) {
+	const n = 3
+	spans := runCellsSpans(t, 1, n)
+	byID := make(map[uint64]telemetry.SpanData, len(spans))
+	for _, d := range spans {
+		if _, dup := byID[d.ID]; dup {
+			t.Fatalf("duplicate span ID %#x", d.ID)
+		}
+		byID[d.ID] = d
+	}
+
+	batchID := telemetry.SpanID(0, "exec.batch", 1)
+	batch, ok := byID[batchID]
+	if !ok || batch.Parent != 0 {
+		t.Fatalf("missing root exec.batch span (id %#x)", batchID)
+	}
+	if batch.Attrs["cells"] != n {
+		t.Errorf("batch cells attr = %v, want %d", batch.Attrs["cells"], n)
+	}
+	if _, ok := byID[telemetry.SpanID(batchID, "merge", 0)]; !ok {
+		t.Error("missing merge span under the batch")
+	}
+
+	for i := 0; i < n; i++ {
+		cellID := telemetry.SpanID(batchID, "cell", uint64(i))
+		cell, ok := byID[cellID]
+		if !ok {
+			t.Fatalf("missing cell span %d", i)
+		}
+		if cell.Parent != batchID {
+			t.Errorf("cell %d parent = %#x, want batch %#x", i, cell.Parent, batchID)
+		}
+		if cell.Attrs["index"] != i {
+			t.Errorf("cell %d index attr = %v", i, cell.Attrs["index"])
+		}
+		if cell.Attrs["cache"] != "miss" {
+			t.Errorf("cell %d cache attr = %v, want miss (distinct seeds)", i, cell.Attrs["cache"])
+		}
+		seed := uint64(100 + i)
+		buildID := telemetry.SpanID(cellID, "build", seed)
+		for _, want := range []struct {
+			name   string
+			id     uint64
+			parent uint64
+		}{
+			{"cache-lookup", telemetry.SpanID(cellID, "cache-lookup", seed), cellID},
+			{"build", buildID, cellID},
+			{"sim.compile", telemetry.SpanID(buildID, "sim.compile", seed), buildID},
+			{"sim.link", telemetry.SpanID(buildID, "sim.link", seed), buildID},
+			{"load", telemetry.SpanID(cellID, "load", 0), cellID},
+			{"sim.exec", telemetry.SpanID(cellID, "sim.exec", 0), cellID},
+		} {
+			d, ok := byID[want.id]
+			if !ok {
+				t.Errorf("cell %d: missing %s span", i, want.name)
+				continue
+			}
+			if d.Name != want.name || d.Parent != want.parent {
+				t.Errorf("cell %d: span %s = (name %q parent %#x), want (name %q parent %#x)",
+					i, want.name, d.Name, d.Parent, want.name, want.parent)
+			}
+		}
+	}
+}
+
+// The span tree's identity and structure must be independent of the worker
+// width: -jobs 1 and -jobs 8 submissions of the same batch produce the same
+// (ID, parent, name) set, the property that makes traces comparable across
+// machines. Only wall-clock and lane fields may differ.
+func TestRunCellsSpanTreeDeterministicAcrossWidths(t *testing.T) {
+	const n = 8
+	shapes := func(spans []telemetry.SpanData) []spanShape {
+		out := make([]spanShape, len(spans))
+		for i, d := range spans {
+			out[i] = spanShape{ID: d.ID, Parent: d.Parent, Name: d.Name}
+		}
+		return out
+	}
+	serial := shapes(runCellsSpans(t, 1, n))
+	parallel := shapes(runCellsSpans(t, 8, n))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("span trees diverge between jobs=1 and jobs=8:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	// Sanity: the tree has the full pipeline, not a trivially-equal prefix.
+	// batch + merge + n × (cell, cache-lookup, build, sim.compile, sim.link,
+	// load, sim.exec).
+	if want := 2 + 7*n; len(serial) != want {
+		t.Errorf("recorded %d spans, want %d", len(serial), want)
+	}
+}

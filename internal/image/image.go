@@ -9,6 +9,7 @@ package image
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"r2c/internal/codegen"
 	"r2c/internal/isa"
@@ -132,6 +133,11 @@ type Image struct {
 	// sortedFuncs is the placement sorted by start address, for fast
 	// address-to-function lookup in the VM's hot path.
 	sortedFuncs []*PlacedFunc
+
+	// provOnce guards btraOrigins, the lazily built detonation-address →
+	// planting-call-site index behind BTRAOrigins (see provenance.go).
+	provOnce    sync.Once
+	btraOrigins map[uint64][]BTRAOrigin
 }
 
 // Link places and resolves a compiled program. aslrSeed drives the ASLR

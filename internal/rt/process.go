@@ -334,9 +334,27 @@ func (p *Process) RecordTrap(ev TrapEvent) {
 		p.trapHead = (p.trapHead + 1) % TrapRingCap
 	}
 	p.Obs.Counter("rt.traps", "kind", ev.Kind.String()).Inc()
-	p.Obs.Emit("trap", map[string]any{
-		"trap": ev.Kind.String(), "pc": ev.PC, "addr": ev.Addr,
-	})
+	if p.Obs != nil && p.Obs.Tracer != nil {
+		// Resolve defense provenance only when an event sink is listening:
+		// the lookup is cheap but off the uninstrumented hot path.
+		pv := p.TrapProvenance(ev)
+		attrs := map[string]any{
+			"trap": ev.Kind.String(), "pc": ev.PC, "addr": ev.Addr,
+			"func": pv.Func, "origin": pv.String(),
+		}
+		if ev.Kind == TrapBTDP {
+			attrs["source"] = pv.Source
+			attrs["guard_page"] = pv.PageIndex
+		}
+		if len(pv.Origins) > 0 {
+			o := pv.Origins[0]
+			attrs["planted_by"] = o.Caller
+			attrs["call_site"] = o.CallSiteID
+			attrs["slot"] = o.Slot
+			attrs["pre"] = o.Pre
+		}
+		p.Obs.Emit("trap", attrs)
+	}
 }
 
 // Traps returns the retained trap events, oldest first. When more than

@@ -1,0 +1,118 @@
+package rt
+
+import (
+	"fmt"
+	"strings"
+
+	"r2c/internal/image"
+	"r2c/internal/mem"
+)
+
+// Provenance explains a trap event in defense terms: which camouflage
+// artifact the attacker touched and where the toolchain planted it. It is
+// the forensic record a monitoring system (or the -forensics flag) renders;
+// resolving it reads only immutable image metadata and the process's BTDP
+// ground truth, never the simulation state.
+type Provenance struct {
+	// Kind echoes the trap class.
+	Kind TrapKind
+	// Func is the function containing the trap PC: the booby-trap function
+	// for BTRA detonations, the victim function for prolog traps and check
+	// failures ("" when the PC is outside any function).
+	Func string
+	// Origins lists the call sites that planted the consumed BTRA (empty
+	// for non-BTRA traps, or when a rerolled/unknown value has no link-time
+	// origin).
+	Origins []image.BTRAOrigin
+	// Guard fields (TrapBTDP only): the faulting guard page (page-aligned),
+	// its index in the process's kept-page list, and the byte offset of the
+	// access within the page.
+	GuardPage uint64
+	PageIndex int
+	PageOff   uint64
+	// Source says which BTDP artifact held the followed pointer: "array"
+	// (with SlotIndex into the heap BTDP array), "decoy" (with SlotIndex
+	// into the data-section decoys), or "guard" when the faulting address
+	// matches no planted value (the attacker derived it).
+	Source    string
+	SlotIndex int
+}
+
+// String renders a one-line forensic summary.
+func (pv *Provenance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", pv.Kind)
+	switch pv.Kind {
+	case TrapBTRA:
+		if len(pv.Origins) == 0 {
+			fmt.Fprintf(&b, " in %s (no link-time origin)", pv.Func)
+			break
+		}
+		o := pv.Origins[0]
+		side := "post"
+		if o.Pre {
+			side = "pre"
+		}
+		fmt.Fprintf(&b, " in %s planted by %s call site %d (%s slot %d, %s setup)",
+			o.TrapFunc, o.Caller, o.CallSiteID, side, o.Slot, o.Setup)
+		if n := len(pv.Origins); n > 1 {
+			fmt.Fprintf(&b, " +%d more sites", n-1)
+		}
+	case TrapBTDP:
+		fmt.Fprintf(&b, " guard page %d (+%#x) via %s", pv.PageIndex, pv.PageOff, pv.Source)
+		if pv.SlotIndex >= 0 {
+			fmt.Fprintf(&b, "[%d]", pv.SlotIndex)
+		}
+	default:
+		if pv.Func != "" {
+			fmt.Fprintf(&b, " in %s", pv.Func)
+		}
+	}
+	return b.String()
+}
+
+// TrapProvenance resolves a trap event against the image's link-time
+// metadata and the process's load-time BTDP ground truth.
+func (p *Process) TrapProvenance(ev TrapEvent) Provenance {
+	pv := Provenance{Kind: ev.Kind, PageIndex: -1, SlotIndex: -1}
+	if pf := p.Img.FuncAt(ev.PC); pf != nil {
+		pv.Func = pf.F.Name
+	}
+	switch ev.Kind {
+	case TrapBTRA:
+		// A RET consuming a BTRA lands exactly on the planted word value,
+		// so the detonation PC is the lookup key.
+		pv.Origins = p.Img.BTRAOrigins(ev.PC)
+	case TrapBTDP:
+		pv.GuardPage = mem.AlignDown(ev.Addr, mem.PageSize)
+		pv.PageOff = ev.Addr - pv.GuardPage
+		for i, g := range p.GuardPages {
+			if g == pv.GuardPage {
+				pv.PageIndex = i
+				break
+			}
+		}
+		pv.Source = "guard"
+		for i, v := range p.BTDPValues {
+			if v == ev.Addr {
+				pv.Source = "array"
+				pv.SlotIndex = i
+				break
+			}
+		}
+		if pv.SlotIndex < 0 {
+			for i, v := range p.DecoyVals {
+				if v == ev.Addr {
+					pv.Source = "decoy"
+					pv.SlotIndex = i
+					break
+				}
+			}
+		}
+	case TrapBTRACheck, TrapProlog, TrapShadowStack:
+		// The owning function (already resolved above) is the provenance:
+		// prolog traps and check failures detonate inside the victim
+		// function; shadow-stack divergence reports the returning function.
+	}
+	return pv
+}

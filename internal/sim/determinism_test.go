@@ -23,16 +23,30 @@ func TestTelemetryDoesNotPerturbRuns(t *testing.T) {
 	b, _ := workload.ByName("nginx")
 	m := b.Build(8)
 	for _, cfg := range []defense.Config{defense.Off(), defense.R2CFull()} {
+		spans := &telemetry.SpanCollector{}
 		obs := &telemetry.Observer{
 			Registry:     telemetry.NewRegistry(),
 			Tracer:       &telemetry.Collector{},
+			Spans:        spans,
 			ProfileFuncs: true,
 		}
 		plainRes, plainProc, err := sim.Run(m, cfg, 7, vm.EPYCRome())
 		if err != nil {
 			t.Fatalf("%s plain: %v", cfg.Name, err)
 		}
-		obsRes, obsProc, err := sim.RunObserved(m, cfg, 7, vm.EPYCRome(), obs)
+		// The observed run threads a live span tree through the same pipeline
+		// RunObserved uses, so the gate covers the span hooks too.
+		root := obs.StartSpan("determinism", 1)
+		img, err := sim.BuildImageSpan(m, cfg, 7, root)
+		if err != nil {
+			t.Fatalf("%s observed build: %v", cfg.Name, err)
+		}
+		obsProc, err := sim.NewProcessFromImage(img, 7, obs)
+		if err != nil {
+			t.Fatalf("%s observed load: %v", cfg.Name, err)
+		}
+		obsRes, err := sim.ExecProcessSpan(obsProc, vm.EPYCRome(), obs, root)
+		root.End()
 		if err != nil {
 			t.Fatalf("%s observed: %v", cfg.Name, err)
 		}
@@ -65,6 +79,11 @@ func TestTelemetryDoesNotPerturbRuns(t *testing.T) {
 		snap := obs.Registry.Snapshot()
 		if got := snap.Counters[telemetry.Key("vm.instructions")]; got != obsRes.Instructions {
 			t.Errorf("%s: registry saw %d instructions, result has %d", cfg.Name, got, obsRes.Instructions)
+		}
+		for _, name := range []string{"sim.compile", "sim.link", "sim.exec"} {
+			if len(spans.ByName(name)) != 1 {
+				t.Errorf("%s: span %q recorded %d times, want 1", cfg.Name, name, len(spans.ByName(name)))
+			}
 		}
 	}
 }

@@ -46,11 +46,23 @@ func BuildObserved(m *tir.Module, cfg defense.Config, seed uint64, obs *telemetr
 // load. The result depends only on (module content, cfg, seed), carries no
 // mutable process state, and is what the exec build cache memoizes.
 func BuildImage(m *tir.Module, cfg defense.Config, seed uint64) (*image.Image, error) {
+	return BuildImageSpan(m, cfg, seed, nil)
+}
+
+// BuildImageSpan is BuildImage with "sim.compile" and "sim.link" child spans
+// recorded under sp. The span is observational only — a nil sp (the
+// uninstrumented path) builds the identical image.
+func BuildImageSpan(m *tir.Module, cfg defense.Config, seed uint64, sp *telemetry.Span) (*image.Image, error) {
+	cs := sp.Child("sim.compile", seed)
 	prog, err := codegen.Compile(m, cfg, seed)
+	cs.End()
 	if err != nil {
 		return nil, err
 	}
-	return image.Link(prog, seed*0x9e3779b97f4a7c15+1)
+	ls := sp.Child("sim.link", seed)
+	img, err := image.Link(prog, seed*0x9e3779b97f4a7c15+1)
+	ls.End()
+	return img, err
 }
 
 // NewProcessFromImage runs the mutable half of Build: load img into a fresh
@@ -88,11 +100,34 @@ func RunObserved(m *tir.Module, cfg defense.Config, seed uint64, prof *vm.Profil
 // a cell executed through the worker pool reports results and errors
 // identically to a serial sim.RunObserved call.
 func ExecProcess(proc *rt.Process, prof *vm.Profile, obs *telemetry.Observer) (*vm.Result, error) {
+	return ExecProcessSpan(proc, prof, obs, nil)
+}
+
+// ExecProcessSpan is ExecProcess with the run recorded under sp ("sim.exec"
+// child span carrying the retired-instruction and modeled-cycle counts, plus
+// how the run ended). sp may be nil.
+func ExecProcessSpan(proc *rt.Process, prof *vm.Profile, obs *telemetry.Observer, sp *telemetry.Span) (*vm.Result, error) {
+	es := sp.Child("sim.exec", 0)
+	defer es.End()
 	mach := vm.New(proc, prof)
 	if obs.Profiling() {
 		mach.EnableProfiler()
 	}
 	res, err := mach.Run(DefaultBudget)
+	if res != nil {
+		es.SetAttr("instructions", res.Instructions)
+		es.SetAttr("cycles", res.Cycles)
+		switch {
+		case res.Trap != nil:
+			es.SetAttr("end", "trap")
+		case res.Fault != nil:
+			es.SetAttr("end", "fault")
+		case res.Halted:
+			es.SetAttr("end", "halt")
+		default:
+			es.SetAttr("end", "budget")
+		}
+	}
 	if reg := obs.Reg(); reg != nil {
 		mach.PublishMetrics(reg)
 		if p := mach.Profiler(); p != nil {

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ChromeTracer renders spans and events in the Chrome trace_event JSON
+// format (the "JSON Array Format" of the trace-event spec), so a -trace file
+// opens directly in chrome://tracing or https://ui.perfetto.dev. Spans
+// become complete ("X") events on a per-worker thread axis; structured
+// events (traps, faults, probes) become instant ("i") events.
+//
+// Everything is buffered and written on Close: trace_event is a single JSON
+// document, and buffering also lets the exporter order spans by their
+// deterministic IDs, so two runs of the same pipeline produce the same span
+// sequence regardless of worker interleaving (instant events keep arrival
+// order; their interleaving is inherently scheduling-dependent).
+type ChromeTracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	spans  []SpanData
+	events []chromeInstant
+	seq    uint64
+	closed bool
+}
+
+type chromeInstant struct {
+	seq   uint64
+	kind  string
+	attrs map[string]any
+}
+
+// chromeEvent is one trace_event record. Perfetto wants ts/dur in
+// microseconds; fractional microseconds keep the nanosecond resolution.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	ID    string         `json:"id,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewChromeTracer wraps w. The caller must Close to flush the document.
+func NewChromeTracer(w io.Writer) *ChromeTracer { return &ChromeTracer{w: w} }
+
+// RecordSpan buffers one finished span.
+func (t *ChromeTracer) RecordSpan(d SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.spans = append(t.spans, d)
+}
+
+// Emit buffers one structured event as an instant marker.
+func (t *ChromeTracer) Emit(kind string, attrs map[string]any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.seq++
+	t.events = append(t.events, chromeInstant{seq: t.seq, kind: kind, attrs: attrs})
+}
+
+// Close writes the buffered trace as one {"traceEvents":[...]} document and
+// marks the tracer closed (later records are dropped). It never writes
+// twice. The timebase is the earliest buffered timestamp, so ts values stay
+// small and the trace opens centered.
+func (t *ChromeTracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return writeChromeTrace(t.w, t.spans, t.events)
+}
+
+func writeChromeTrace(w io.Writer, spans []SpanData, events []chromeInstant) error {
+	// Deterministic span order: sort by content-derived ID, then start (two
+	// spans share an ID only if a caller reused a (parent, name, key)
+	// triple, e.g. retries of the same phase).
+	spans = append([]SpanData(nil), spans...)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].ID != spans[j].ID {
+			return spans[i].ID < spans[j].ID
+		}
+		return spans[i].StartNs < spans[j].StartNs
+	})
+
+	var base int64
+	for i, d := range spans {
+		if i == 0 || d.StartNs < base {
+			base = d.StartNs
+		}
+	}
+
+	out := make([]chromeEvent, 0, len(spans)+len(events))
+	for _, d := range spans {
+		dur := float64(d.DurNs) / 1e3
+		args := make(map[string]any, len(d.Attrs)+2)
+		for k, v := range d.Attrs {
+			args[k] = v
+		}
+		args["span_id"] = formatSpanID(d.ID)
+		if d.Parent != 0 {
+			args["parent"] = formatSpanID(d.Parent)
+		}
+		out = append(out, chromeEvent{
+			Name:  d.Name,
+			Phase: "X",
+			TS:    float64(d.StartNs-base) / 1e3,
+			Dur:   &dur,
+			PID:   1,
+			TID:   d.TID,
+			ID:    formatSpanID(d.ID),
+			Args:  args,
+		})
+	}
+	// Instant events have no timestamps of their own (the event stream is
+	// ordered by sequence number, not wall clock); place them on a sequence
+	// axis at the timebase so they are visible without implying timing.
+	for _, e := range events {
+		out = append(out, chromeEvent{
+			Name:  e.kind,
+			Phase: "i",
+			TS:    float64(e.seq),
+			PID:   1,
+			TID:   0,
+			Scope: "p",
+			Args:  e.attrs,
+		})
+	}
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// formatSpanID renders a span ID as fixed-width hex, the stable string form
+// used in args (JSON numbers lose precision above 2^53).
+func formatSpanID(id uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixedSpans is a hand-built two-cell pipeline fragment with fixed
+// timestamps, the input for the golden-file shape test. IDs follow the real
+// derivation so parent links in the output resolve.
+func fixedSpans() []SpanData {
+	batch := SpanID(0, "exec.batch", 1)
+	cell0 := SpanID(batch, "cell", 0)
+	cell1 := SpanID(batch, "cell", 1)
+	return []SpanData{
+		{ID: batch, Name: "exec.batch", StartNs: 1_000_000, DurNs: 9_000_000,
+			Attrs: map[string]any{"cells": 2}},
+		{ID: cell1, Parent: batch, Name: "cell", StartNs: 1_500_000, DurNs: 4_000_000, TID: 2,
+			Attrs: map[string]any{"index": 1, "cache": "hit"}},
+		{ID: cell0, Parent: batch, Name: "cell", StartNs: 1_200_000, DurNs: 6_000_000, TID: 1,
+			Attrs: map[string]any{"index": 0, "cache": "miss"}},
+		{ID: SpanID(cell0, "build", 100), Parent: cell0, Name: "build",
+			StartNs: 1_300_000, DurNs: 2_000_000, TID: 1},
+	}
+}
+
+// The Chrome exporter's output is pinned by a golden file: one trace_event
+// JSON document with spans as complete events in deterministic ID order
+// (note cell 0 sorts by ID, not by its later arrival) and instants on the
+// sequence axis. Regenerate with `go test ./internal/telemetry -run Golden
+// -update` after an intentional format change.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	for _, d := range fixedSpans() {
+		tr.RecordSpan(d)
+	}
+	tr.Emit("trap", map[string]any{"trap": "btra", "pc": 4096})
+	tr.Emit("attack.detect", map[string]any{"via": "btdp-read"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace diverges from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The document must also be structurally valid trace_event JSON: a
+	// traceEvents array where every record carries a phase and spans ("X")
+	// carry a duration.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(fixedSpans())+2 {
+		t.Fatalf("%d trace events, want %d", len(doc.TraceEvents), len(fixedSpans())+2)
+	}
+	for i, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("event %d: complete event without dur", i)
+			}
+		case "i":
+			if ev["s"] != "p" {
+				t.Errorf("event %d: instant without process scope", i)
+			}
+		default:
+			t.Errorf("event %d: unexpected phase %v", i, ev["ph"])
+		}
+	}
+}
+
+// A tracer that records concurrently with Close must never corrupt the
+// document: post-Close records are dropped and Close never writes twice.
+func TestChromeTracerCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	tr.RecordSpan(SpanData{ID: 1, Name: "a"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	tr.RecordSpan(SpanData{ID: 2, Name: "late"})
+	tr.Emit("late", nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Error("second Close wrote more output")
+	}
+}

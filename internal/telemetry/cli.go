@@ -1,15 +1,43 @@
 package telemetry
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 )
 
 // This file holds the flag-level plumbing shared by the cmd/ binaries: every
-// harness exposes the same -metrics-out FILE, -trace FILE and -profile flags,
-// and Sinks turns those three values into an Observer plus the matching
-// teardown (write the JSON snapshot, close the trace file).
+// harness exposes the same -metrics-out FILE, -trace FILE, -trace-format,
+// -profile and -listen flags, and Sinks turns those values into an Observer
+// plus the matching teardown (write the JSON snapshot, flush and close the
+// trace file).
+
+// Trace formats accepted by the -trace-format flag.
+const (
+	// TraceJSONL is the line-delimited event/span stream (the default).
+	TraceJSONL = "jsonl"
+	// TraceChrome is the Chrome trace_event JSON document, loadable in
+	// chrome://tracing and Perfetto.
+	TraceChrome = "chrome"
+)
+
+// SinkOptions are the resolved values of the standard telemetry flags.
+type SinkOptions struct {
+	// MetricsOut is the -metrics-out path ("" disables).
+	MetricsOut string
+	// TraceOut is the -trace path ("" disables).
+	TraceOut string
+	// TraceFormat selects the trace file format: TraceJSONL (default) or
+	// TraceChrome.
+	TraceFormat string
+	// Profile enables the per-function cycle profiler.
+	Profile bool
+	// EnsureRegistry forces a live Observer (with a registry) even when no
+	// file sink was requested — the ops endpoint needs one to serve
+	// /metrics from.
+	EnsureRegistry bool
+}
 
 // Sinks owns the file sinks behind the standard telemetry flags. A Sinks
 // whose flags were all disabled has a nil Obs, so the simulation runs on the
@@ -21,62 +49,88 @@ type Sinks struct {
 
 	metrics *os.File
 	trace   *os.File
+	chrome  *ChromeTracer
 }
 
-// OpenSinks assembles an Observer from the standard flag values. metricsOut
-// and traceOut are file paths ("" disables); profile enables the
-// per-function cycle profiler (its output lands in the registry, so it
-// implies one). Both files are opened eagerly, so a bad path fails before
-// any experiment runs rather than after minutes of work. The caller must
-// Close the result.
+// OpenSinks assembles an Observer from the standard flag values; see
+// OpenSinksOpts for the full set. Kept for callers without a trace-format or
+// listen flag.
 func OpenSinks(metricsOut, traceOut string, profile bool) (*Sinks, error) {
+	return OpenSinksOpts(SinkOptions{MetricsOut: metricsOut, TraceOut: traceOut, Profile: profile})
+}
+
+// OpenSinksOpts assembles an Observer from the standard flag values. Files
+// are opened eagerly, so a bad path fails before any experiment runs rather
+// than after minutes of work. The caller must Close the result.
+func OpenSinksOpts(o SinkOptions) (*Sinks, error) {
 	s := &Sinks{}
-	if metricsOut == "" && traceOut == "" && !profile {
+	if o.MetricsOut == "" && o.TraceOut == "" && !o.Profile && !o.EnsureRegistry {
 		return s, nil
 	}
-	obs := &Observer{Registry: NewRegistry(), ProfileFuncs: profile}
-	if metricsOut != "" {
-		f, err := os.Create(metricsOut)
+	switch o.TraceFormat {
+	case "", TraceJSONL, TraceChrome:
+	default:
+		return nil, fmt.Errorf("telemetry: unknown trace format %q (want %s or %s)", o.TraceFormat, TraceJSONL, TraceChrome)
+	}
+	obs := &Observer{Registry: NewRegistry(), ProfileFuncs: o.Profile}
+	if o.MetricsOut != "" {
+		f, err := os.Create(o.MetricsOut)
 		if err != nil {
 			return nil, fmt.Errorf("telemetry: open metrics sink: %w", err)
 		}
 		s.metrics = f
 	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
+	if o.TraceOut != "" {
+		f, err := os.Create(o.TraceOut)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("telemetry: open trace sink: %w", err)
 		}
 		s.trace = f
-		obs.Tracer = NewJSONLTracer(f)
+		if o.TraceFormat == TraceChrome {
+			s.chrome = NewChromeTracer(f)
+			obs.Tracer = s.chrome
+			obs.Spans = s.chrome
+		} else {
+			jl := NewJSONLTracer(f)
+			obs.Tracer = jl
+			obs.Spans = jl
+		}
 	}
 	s.Obs = obs
 	return s, nil
 }
 
-// Close flushes the metrics snapshot to -metrics-out (if set) and closes the
-// trace file. It returns the first error encountered.
+// Close flushes the metrics snapshot to -metrics-out (if set), flushes the
+// Chrome trace document, and closes both files. Every failure is reported:
+// the individual errors are combined with errors.Join, so a failed metrics
+// write is never masked by a failed trace close (or vice versa).
 func (s *Sinks) Close() error {
-	var first error
+	var errs []error
 	if s.metrics != nil {
 		if s.Obs != nil {
 			if err := s.Obs.Registry.WriteJSON(s.metrics); err != nil {
-				first = err
+				errs = append(errs, fmt.Errorf("telemetry: write metrics snapshot: %w", err))
 			}
 		}
-		if err := s.metrics.Close(); err != nil && first == nil {
-			first = err
+		if err := s.metrics.Close(); err != nil {
+			errs = append(errs, err)
 		}
 		s.metrics = nil
 	}
 	if s.trace != nil {
-		if err := s.trace.Close(); err != nil && first == nil {
-			first = err
+		if s.chrome != nil {
+			if err := s.chrome.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("telemetry: flush chrome trace: %w", err))
+			}
+			s.chrome = nil
+		}
+		if err := s.trace.Close(); err != nil {
+			errs = append(errs, err)
 		}
 		s.trace = nil
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // WriteHotFunctions renders the top-n hot-function table accumulated in the

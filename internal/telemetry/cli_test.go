@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Sinks.Close must report every teardown failure, not just the first: a
+// failed metrics write may never mask a failed trace flush (or vice versa).
+// Closing the files out from under the sinks makes both halves fail, and the
+// joined error must mention each.
+func TestSinksCloseJoinsErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSinksOpts(SinkOptions{
+		MetricsOut:  filepath.Join(dir, "m.json"),
+		TraceOut:    filepath.Join(dir, "t.json"),
+		TraceFormat: TraceChrome,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Obs.Counter("x").Inc()
+	s.Obs.StartSpan("root", 1).End()
+	// Sabotage both files so the snapshot write, the chrome flush, and both
+	// closes all fail.
+	if err := s.metrics.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	err = s.Close()
+	if err == nil {
+		t.Fatal("Close succeeded with both files sabotaged")
+	}
+	msg := err.Error()
+	for _, want := range []string{"metrics snapshot", "chrome trace"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error %q does not mention %q", msg, want)
+		}
+	}
+	// Idempotent: the fields are cleared, so a second Close is a no-op.
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// The happy path writes both sinks and a second Close stays a no-op.
+func TestSinksCloseWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "m.json")
+	tpath := filepath.Join(dir, "t.chrome.json")
+	s, err := OpenSinksOpts(SinkOptions{MetricsOut: mpath, TraceOut: tpath, TraceFormat: TraceChrome})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Obs.Counter("x").Inc()
+	s.Obs.StartSpan("root", 1).End()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{mpath, tpath} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Errorf("%s is empty after Close", p)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

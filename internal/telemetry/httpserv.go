@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// OpsServer is the live ops endpoint behind the -listen flag: while a long
+// experiment run is in flight it serves
+//
+//	/metrics   — the telemetry registry in Prometheus text exposition format
+//	/healthz   — liveness ("ok")
+//	/progress  — a JSON progress snapshot from the harness (cells done/total,
+//	             in-flight cells with their current span, cache hit rate, ETA)
+//	/debug/pprof/* — the standard Go profiler endpoints
+//
+// The server is read-only and write-beside like the rest of the package:
+// handlers only snapshot state, so scraping can never perturb a run.
+type OpsServer struct {
+	lis      net.Listener
+	srv      *http.Server
+	done     chan struct{}
+	serveErr error
+}
+
+// ServeOps starts the ops endpoint on addr (e.g. ":8642" or "127.0.0.1:0").
+// reg backs /metrics (nil serves an empty exposition); progress backs
+// /progress (nil serves "{}"; the returned value is marshaled as JSON). The
+// listener is opened eagerly so a bad address fails before the run starts.
+// The caller must Close the server; Close is graceful and waits for the
+// serve goroutine, so no goroutine outlives it.
+func ServeOps(addr string, reg *Registry, progress func() any) (*OpsServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: ops listen %s: %w", addr, err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any = struct{}{}
+		if progress != nil {
+			v = progress()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &OpsServer{
+		lis:  lis,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(lis); err != nil && err != http.ErrServerClosed {
+			s.serveErr = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *OpsServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *OpsServer) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close shuts the server down gracefully — stop accepting, drain in-flight
+// requests, close idle connections — and waits for the serve goroutine to
+// exit, so a completed run leaves no lingering goroutines behind. Safe on a
+// nil receiver and idempotent.
+func (s *OpsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	if err == nil {
+		err = s.serveErr
+	}
+	return err
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func opsGet(t *testing.T, client *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestOpsServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("exec.cache.hits").Add(7)
+	reg.Counter("rt.traps", "kind", "btra").Add(3)
+	reg.Gauge("exec.pool.workers").Set(8)
+	reg.Histogram("cell.ms", []float64{1, 10}, "phase", "build").Observe(4)
+	reg.Timer("exec.cell").Observe(1500 * time.Millisecond)
+
+	progress := func() any {
+		return map[string]any{"done": 3, "total": 10}
+	}
+	s, err := ServeOps("127.0.0.1:0", reg, progress)
+	if err != nil {
+		t.Fatalf("ServeOps: %v", err)
+	}
+	defer s.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	defer client.CloseIdleConnections()
+
+	if code, body := opsGet(t, client, s.URL()+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body := opsGet(t, client, s.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE exec_cache_hits counter",
+		"exec_cache_hits 7",
+		`rt_traps{kind="btra"} 3`,
+		"exec_pool_workers 8",
+		`cell_ms_bucket{phase="build",le="10"} 1`,
+		`cell_ms_bucket{phase="build",le="+Inf"} 1`,
+		`cell_ms_sum{phase="build"} 4`,
+		"exec_cell_seconds_total 1.5",
+		"exec_cell_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// Structural validity of the exposition: every non-comment line is
+	// "name{labels} value" with a parsable float value.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("metrics line without value: %q", line)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &f); err != nil {
+			t.Errorf("metrics line value unparsable: %q", line)
+		}
+	}
+
+	code, body = opsGet(t, client, s.URL()+"/progress")
+	if code != 200 {
+		t.Fatalf("/progress = %d", code)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if got["done"] != float64(3) || got["total"] != float64(10) {
+		t.Errorf("/progress = %v", got)
+	}
+
+	if code, body := opsGet(t, client, s.URL()+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d %q", code, body)
+	}
+}
+
+func TestOpsServerNilBackends(t *testing.T) {
+	s, err := ServeOps("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatalf("ServeOps: %v", err)
+	}
+	defer s.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	defer client.CloseIdleConnections()
+	if code, _ := opsGet(t, client, s.URL()+"/metrics"); code != 200 {
+		t.Errorf("/metrics with nil registry = %d", code)
+	}
+	if code, body := opsGet(t, client, s.URL()+"/progress"); code != 200 || !strings.Contains(body, "{}") {
+		t.Errorf("/progress with nil source = %d %q", code, body)
+	}
+}
+
+func TestOpsServerBadAddressFailsEagerly(t *testing.T) {
+	if _, err := ServeOps("127.0.0.1:99999", nil, nil); err == nil {
+		t.Fatal("expected eager listen error for bad address")
+	}
+}
+
+// TestOpsServerShutdownLeaksNoGoroutines is the lingering-goroutine gate:
+// after Close returns — even with requests served in between — the process
+// goroutine count must return to its baseline. Close is graceful (drains
+// in-flight requests) and waits for the serve goroutine.
+func TestOpsServerShutdownLeaksNoGoroutines(t *testing.T) {
+	// Warm up lazy runtime/net pools so they do not count against the
+	// baseline.
+	s0, err := ServeOps("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatalf("ServeOps warmup: %v", err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	opsGet(t, client, s0.URL()+"/healthz")
+	client.CloseIdleConnections()
+	if err := s0.Close(); err != nil {
+		t.Fatalf("warmup close: %v", err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	reg := NewRegistry()
+	s, err := ServeOps("127.0.0.1:0", reg, func() any { return map[string]int{"done": 1} })
+	if err != nil {
+		t.Fatalf("ServeOps: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		opsGet(t, client, s.URL()+"/metrics")
+		opsGet(t, client, s.URL()+"/progress")
+	}
+	client.CloseIdleConnections()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Goroutine teardown is asynchronous at the margins (connection
+	// goroutines unwind after Shutdown returns); poll briefly before
+	// declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, after close %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

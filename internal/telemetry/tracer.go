@@ -60,6 +60,25 @@ func (t *JSONLTracer) Emit(kind string, attrs map[string]any) {
 	t.w.Write(b)
 }
 
+// RecordSpan writes a finished span as one {"kind":"span",...} JSON line on
+// the same stream, so the JSONL trace interleaves spans with events and a
+// single file reconstructs the whole run.
+func (t *JSONLTracer) RecordSpan(d SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	b, err := json.Marshal(struct {
+		Seq  uint64   `json:"seq"`
+		Kind string   `json:"kind"`
+		Span SpanData `json:"span"`
+	}{t.seq, "span", d})
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	t.w.Write(b)
+}
+
 // Collector buffers events in memory, for tests and programmatic readers.
 type Collector struct {
 	mu     sync.Mutex
@@ -108,6 +127,9 @@ func (m MultiTracer) Emit(kind string, attrs map[string]any) {
 type Observer struct {
 	Registry *Registry
 	Tracer   Tracer
+	// Spans receives finished pipeline spans (cell lifecycle, compile/link,
+	// execute). Nil disables span tracing.
+	Spans SpanSink
 	// ProfileFuncs enables the per-function simulated-cycle profiler in
 	// runs driven through sim.RunObserved.
 	ProfileFuncs bool
@@ -115,7 +137,7 @@ type Observer struct {
 
 // Enabled reports whether the observer has any live sink.
 func (o *Observer) Enabled() bool {
-	return o != nil && (o.Registry != nil || o.Tracer != nil)
+	return o != nil && (o.Registry != nil || o.Tracer != nil || o.Spans != nil)
 }
 
 // Reg returns the registry (nil when absent).
@@ -152,6 +174,16 @@ func (o *Observer) Emit(kind string, attrs map[string]any) {
 		return
 	}
 	Emit(o.Tracer, kind, attrs)
+}
+
+// StartSpan begins a root span against the observer's span sink. With no
+// sink (or a nil observer) it returns a nil span, whose whole subtree is a
+// no-op.
+func (o *Observer) StartSpan(name string, key uint64) *Span {
+	if o == nil {
+		return nil
+	}
+	return StartSpan(o.Spans, name, key)
 }
 
 // Profiling reports whether per-function profiling was requested.
