@@ -20,7 +20,7 @@ test:
 # engine (worker pool + build cache); their tests — and the bench drivers
 # that fan cells through them — run under the race detector.
 test-race:
-	$(GO) test -race ./internal/telemetry/ ./internal/sim/ ./internal/exec/ ./internal/bench/
+	$(GO) test -race -timeout 300s ./internal/telemetry/ ./internal/sim/ ./internal/exec/ ./internal/bench/
 
 # Go micro-benchmarks plus one real harness run per label, each emitting a
 # BENCH_<label>.json metrics snapshot (cache hit/miss counters, pool gauges,
@@ -32,9 +32,11 @@ bench:
 
 # The tier-1 gate: what CI (.github/workflows/ci.yml) runs. The exec engine
 # and the telemetry package (ops HTTP server, span sinks, registry) are cheap
-# enough to always take the race detector.
+# enough to always take the race detector. The tight -timeout is load-bearing:
+# the fault-injection tests exercise watchdogs and stalls, and a regression
+# that reintroduces a real hang should fail the gate in minutes, not hours.
 check: build vet test
-	$(GO) test -race ./internal/exec/ ./internal/telemetry/
+	$(GO) test -race -timeout 300s ./internal/exec/ ./internal/telemetry/
 
 clean:
 	$(GO) clean ./...

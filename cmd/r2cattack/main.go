@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"r2c/internal/attack"
 	"r2c/internal/bench"
@@ -38,6 +41,13 @@ func main() {
 	traceFormat := flag.String("trace-format", telemetry.TraceJSONL, "trace file format: jsonl or chrome (chrome://tracing / Perfetto)")
 	listen := flag.String("listen", "", "serve the live ops endpoint (/metrics, /healthz, /progress, /debug/pprof) on ADDR, e.g. :8642")
 	forensics := flag.Bool("forensics", false, "with table3: print the per-trial trap provenance table (which trap class caught each probe)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog deadline (0 = none); hung cells fail instead of hanging the campaign")
+	cellFuel := flag.Uint64("cell-fuel", 0, "per-cell VM instruction allowance (0 = the default budget)")
+	retries := flag.Int("retries", 0, "re-attempts per failed cell, each with a seed derived from the cell's content key")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base delay before the first retry of a cell, doubling per attempt")
+	journalPath := flag.String("journal", "", "persist completed cell results to FILE (JSONL, keyed by build key + machine)")
+	resume := flag.Bool("resume", false, "replay cells already present in the journal instead of re-executing them")
+	faults := flag.String("faults", "", "fault-injection plan CELL[@ATTEMPT]:KIND,... with KIND one of build-fail, exec-fail, panic, stall (testing aid)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-forensics] <table3|prob|sidechannel|sidechannel-hardened|ablations|aocr|mvee|all>\n")
 		flag.PrintDefaults()
@@ -76,7 +86,35 @@ func main() {
 	// restarts, persistent retries) to one compile+link each.
 	eng := exec.New(*jobs, sinks.Obs)
 	attack.UseBuildCache(eng.Cache)
-	opt := bench.Options{Scale: 4, Runs: 1, Out: os.Stdout, Obs: sinks.Obs, Jobs: *jobs, Eng: eng}
+	eng.CellTimeout = *cellTimeout
+	eng.CellFuel = *cellFuel
+	eng.Retries = *retries
+	eng.Backoff = *retryBackoff
+	plan, err := exec.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
+		os.Exit(2)
+	}
+	eng.Faults = plan
+	if *resume && *journalPath == "" {
+		*journalPath = "r2c-run.journal"
+	}
+	if *journalPath != "" {
+		j, jerr := exec.OpenJournal(*journalPath)
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "r2cattack: %v\n", jerr)
+			os.Exit(1)
+		}
+		if *resume && j.Len() > 0 {
+			fmt.Printf("[resuming: %d journaled cells in %s]\n", j.Len(), *journalPath)
+		}
+		eng.Journal = j
+	}
+	// Ctrl-C/SIGTERM cancels the campaign context: queued trials never
+	// start and in-flight ones run their watchdogs down.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	opt := bench.Options{Scale: 4, Runs: 1, Out: os.Stdout, Obs: sinks.Obs, Jobs: *jobs, Eng: eng, Ctx: ctx}
 	var ops *telemetry.OpsServer
 	if *listen != "" {
 		ops, err = telemetry.ServeOps(*listen, sinks.Obs.Reg(), func() any { return eng.Progress() })
@@ -116,9 +154,18 @@ func main() {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 
+	exitCode := 0
 	for _, n := range names {
 		if err := run(n); err != nil {
+			// Partial cell failures degrade to a summary plus a failing
+			// exit code; hard errors and cancellation abort as before.
+			if be, ok := exec.AsBatchError(err); ok && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "r2cattack %s: partial results: %s\n", n, be.Summary())
+				exitCode = 1
+				continue
+			}
 			ops.Close()
+			eng.Journal.Close()
 			sinks.Close()
 			fmt.Fprintf(os.Stderr, "r2cattack %s: %v\n", n, err)
 			os.Exit(1)
@@ -131,10 +178,15 @@ func main() {
 	if err := ops.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "r2cattack: ops shutdown: %v\n", err)
 	}
+	if err := eng.Journal.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
+		exitCode = 1
+	}
 	if err := sinks.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
 		os.Exit(1)
 	}
+	os.Exit(exitCode)
 }
 
 func known(name string) bool {

@@ -9,13 +9,17 @@
 // Usage:
 //
 //	r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome]
-//	         [-listen ADDR] [-profile] <experiment>
+//	         [-listen ADDR] [-profile] [-cell-timeout D] [-cell-fuel N] [-retries N]
+//	         [-journal FILE] [-resume] [-faults PLAN] <experiment>
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"r2c/internal/bench"
@@ -48,6 +52,9 @@ func knownExperiments() []string {
 	return append(names, "all")
 }
 
+// defaultJournal is where -resume looks when -journal is not given.
+const defaultJournal = "r2c-run.journal"
+
 func main() {
 	scale := flag.Int("scale", 1, "workload scale divisor (1 = full calibrated size)")
 	runs := flag.Int("runs", 3, "differently-seeded builds per measurement (median)")
@@ -58,8 +65,15 @@ func main() {
 	listen := flag.String("listen", "", "serve the live ops endpoint (/metrics, /healthz, /progress, /debug/pprof) on ADDR, e.g. :8642")
 	profile := flag.Bool("profile", false, "collect per-function simulated-cycle profiles and print the hot-function table")
 	top := flag.Int("top", 15, "rows in the -profile hot-function table")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog deadline (0 = none); hung cells fail instead of hanging the sweep")
+	cellFuel := flag.Uint64("cell-fuel", 0, "per-cell VM instruction allowance (0 = the default budget); runaway cells fail instead of hanging")
+	retries := flag.Int("retries", 0, "re-attempts per failed cell, each with a seed derived from the cell's content key")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base delay before the first retry of a cell, doubling per attempt")
+	journalPath := flag.String("journal", "", "persist completed cell results to FILE (JSONL, keyed by build key + machine)")
+	resume := flag.Bool("resume", false, "replay cells already present in the journal instead of re-executing them (implies -journal "+defaultJournal+" unless set)")
+	faults := flag.String("faults", "", "fault-injection plan CELL[@ATTEMPT]:KIND,... with KIND one of build-fail, exec-fail, panic, stall (testing aid)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-profile] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-profile] [-cell-timeout D] [-cell-fuel N] [-retries N] [-journal FILE] [-resume] [-faults PLAN] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments:")
 		for _, n := range knownExperiments() {
 			fmt.Fprintf(os.Stderr, " %s", n)
@@ -98,6 +112,12 @@ func main() {
 		}
 	}
 
+	plan, err := exec.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
+		os.Exit(2)
+	}
+
 	sinks, err := telemetry.OpenSinksOpts(telemetry.SinkOptions{
 		MetricsOut:  *metricsOut,
 		TraceOut:    *traceOut,
@@ -113,8 +133,36 @@ func main() {
 	}
 	// One engine for the whole invocation: experiments that rebuild the same
 	// (module, config, seed) — Figure 6's four machines, the ablation sweeps'
-	// shared baselines — hit the content-addressed build cache.
+	// shared baselines — hit the content-addressed build cache. The engine
+	// also carries the fault-tolerance policy every cell runs under.
 	eng := exec.New(*jobs, sinks.Obs)
+	eng.CellTimeout = *cellTimeout
+	eng.CellFuel = *cellFuel
+	eng.Retries = *retries
+	eng.Backoff = *retryBackoff
+	eng.Faults = plan
+
+	if *resume && *journalPath == "" {
+		*journalPath = defaultJournal
+	}
+	if *journalPath != "" {
+		j, err := exec.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *resume && j.Len() > 0 {
+			fmt.Printf("[resuming: %d journaled cells in %s]\n", j.Len(), *journalPath)
+		}
+		eng.Journal = j
+	}
+
+	// Ctrl-C/SIGTERM cancels the sweep context: in-flight cells run their
+	// watchdogs down, queued cells never start, and the journal keeps what
+	// finished — exactly what -resume picks up.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	var ops *telemetry.OpsServer
 	if *listen != "" {
 		ops, err = telemetry.ServeOps(*listen, sinks.Obs.Reg(), func() any { return eng.Progress() })
@@ -124,18 +172,28 @@ func main() {
 		}
 		fmt.Printf("[ops endpoint listening on %s]\n", ops.URL())
 	}
-	opt := bench.Options{Scale: *scale, Runs: *runs, Out: os.Stdout, Obs: sinks.Obs, Jobs: *jobs, Eng: eng}
+	opt := bench.Options{Scale: *scale, Runs: *runs, Out: os.Stdout, Obs: sinks.Obs, Jobs: *jobs, Eng: eng, Ctx: ctx}
 
+	exitCode := 0
 	for _, e := range selected {
 		start := time.Now()
 		stop := sinks.Obs.Timer("bench.experiment", "name", e.name).Time()
 		err := e.run(opt)
 		stop()
 		if err != nil {
-			ops.Close()
-			sinks.Close()
-			fmt.Fprintf(os.Stderr, "r2cbench %s: %v\n", e.name, err)
-			os.Exit(1)
+			// A partial failure (some cells died, the rest produced a
+			// table) degrades to a summary plus a failing exit code; hard
+			// errors and cancellation still abort the invocation.
+			if be, ok := exec.AsBatchError(err); ok && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "r2cbench %s: partial results: %s\n", e.name, be.Summary())
+				exitCode = 1
+			} else {
+				ops.Close()
+				eng.Journal.Close()
+				sinks.Close()
+				fmt.Fprintf(os.Stderr, "r2cbench %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
@@ -149,8 +207,13 @@ func main() {
 	if err := ops.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "r2cbench: ops shutdown: %v\n", err)
 	}
+	if err := eng.Journal.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
+		exitCode = 1
+	}
 	if err := sinks.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
 		os.Exit(1)
 	}
+	os.Exit(exitCode)
 }

@@ -8,8 +8,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"r2c/internal/defense"
@@ -44,6 +46,18 @@ type Options struct {
 	// harnesses share one engine across experiments so identical
 	// (module, config, seed) builds memoize across tables and figures.
 	Eng *exec.Engine
+	// Ctx cancels the whole sweep (the cmd harnesses wire Ctrl-C/SIGTERM
+	// here); nil means context.Background(). Per-cell deadlines are the
+	// engine's CellTimeout, not this.
+	Ctx context.Context
+}
+
+// ctx returns the sweep context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // withEngine returns opt with Eng populated, constructing a default engine
@@ -86,13 +100,26 @@ func cellsFor(m *tir.Module, cfg defense.Config, prof *vm.Profile, runs int, see
 }
 
 // medianCycles reduces one run group's results to the median modeled cycle
-// count.
-func medianCycles(results []*vm.Result) float64 {
-	cycles := make([]float64, len(results))
-	for i, res := range results {
-		cycles[i] = res.Cycles
+// count over the runs that survived — failed cells leave nil slots under
+// partial-failure tolerance. ok is false when no run survived.
+func medianCycles(results []*vm.Result) (float64, bool) {
+	cycles := make([]float64, 0, len(results))
+	for _, res := range results {
+		if res != nil {
+			cycles = append(cycles, res.Cycles)
+		}
 	}
-	return stats.Median(cycles)
+	m, err := stats.MedianErr(cycles)
+	return m, err == nil
+}
+
+// fmtRatio renders a ratio/percent cell with the given verb, or "n/a" for
+// the NaN a skipped (failed or baseline-less) measurement leaves behind.
+func fmtRatio(format string, v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, v)
 }
 
 // Overheads holds per-benchmark overhead ratios for one configuration.
@@ -104,6 +131,9 @@ type Overheads struct {
 // Geomean returns the geometric mean ratio across benchmarks. Benchmarks are
 // folded in sorted name order: float accumulation is order-sensitive, and a
 // map-range order here would make repeated runs differ in the last bits.
+// Ratios a partially-failed sweep marked unusable (NaN or non-positive) are
+// excluded; with none left the geomean itself is NaN ("n/a" in tables)
+// instead of a panic.
 func (o *Overheads) Geomean() float64 {
 	names := make([]string, 0, len(o.ByBench))
 	for n := range o.ByBench {
@@ -112,21 +142,29 @@ func (o *Overheads) Geomean() float64 {
 	sort.Strings(names)
 	xs := make([]float64, 0, len(names))
 	for _, n := range names {
-		xs = append(xs, o.ByBench[n])
+		if v := o.ByBench[n]; !math.IsNaN(v) && v > 0 {
+			xs = append(xs, v)
+		}
 	}
-	return stats.GeoMean(xs)
+	g, err := stats.GeoMeanErr(xs)
+	if err != nil {
+		return math.NaN()
+	}
+	return g
 }
 
-// Max returns the maximum ratio and the benchmark it occurs on.
+// Max returns the maximum ratio and the benchmark it occurs on. NaN
+// (skipped) ratios are ignored; with no usable ratio at all it returns
+// ("", NaN).
 func (o *Overheads) Max() (string, float64) {
-	bestN, bestV := "", 0.0
+	bestN, bestV := "", math.NaN()
 	names := make([]string, 0, len(o.ByBench))
 	for n := range o.ByBench {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if v := o.ByBench[n]; v > bestV {
+		if v := o.ByBench[n]; !math.IsNaN(v) && (math.IsNaN(bestV) || v > bestV) {
 			bestN, bestV = n, v
 		}
 	}
@@ -171,33 +209,72 @@ func MeasureOverheads(cfgs []defense.Config, prof *vm.Profile, opt Options) ([]O
 		}
 	}
 
-	results, err := opt.Eng.RunCells(cells)
+	results, err := opt.Eng.RunCells(opt.ctx(), cells)
 	if err != nil {
-		i, cause := exec.SplitError(err)
-		mt := metas[i]
-		inner := fmt.Errorf("%s: %w", mt.cfg, cause)
-		if mt.baseline {
-			return nil, fmt.Errorf("%s baseline: %w", mt.bench, inner)
+		if cerr := opt.ctx().Err(); cerr != nil {
+			return nil, cerr // the whole run was cancelled; no partial tables
 		}
-		return nil, fmt.Errorf("%s %s: %w", mt.bench, mt.cfg, inner)
+		be, ok := exec.AsBatchError(err)
+		if !ok {
+			i, cause := exec.SplitError(err)
+			mt := metas[i]
+			inner := fmt.Errorf("%s: %w", mt.cfg, cause)
+			if mt.baseline {
+				return nil, fmt.Errorf("%s baseline: %w", mt.bench, inner)
+			}
+			return nil, fmt.Errorf("%s %s: %w", mt.bench, mt.cfg, inner)
+		}
+		// Partial failure: report every dead cell, then compute whatever
+		// the survivors support. The caller still sees the *BatchError so
+		// harnesses can reflect the failure in their exit code.
+		for _, f := range be.Failures {
+			mt := metas[f.Index]
+			if mt.baseline {
+				opt.printf("warning: %s baseline run failed: %v\n", mt.bench, f.Err)
+			} else {
+				opt.printf("warning: %s %s run failed: %v\n", mt.bench, mt.cfg, f.Err)
+			}
+		}
 	}
 
+	// Reduce each run group to its median, skipping groups with no
+	// survivors or an unusable (zero-cycle) baseline: their ratios become
+	// NaN, which the table printers render as "n/a".
 	base := make(map[string]float64)
 	off := 0
 	for _, b := range specs {
-		base[b.Name] = medianCycles(results[off : off+runs])
+		med, ok := medianCycles(results[off : off+runs])
+		if !ok {
+			opt.printf("warning: %s: no surviving baseline runs; its ratios are n/a\n", b.Name)
+			med = math.NaN()
+		} else if med <= 0 {
+			opt.printf("warning: %s: zero-cycle baseline; its ratios are n/a\n", b.Name)
+			med = math.NaN()
+		}
+		base[b.Name] = med
 		off += runs
 	}
 	var out []Overheads
 	for _, cfg := range cfgs {
 		ov := Overheads{Config: cfg.Name, ByBench: map[string]float64{}}
 		for _, b := range specs {
-			ov.ByBench[b.Name] = stats.Overhead(medianCycles(results[off:off+runs]), base[b.Name])
+			med, ok := medianCycles(results[off : off+runs])
+			ratio := math.NaN()
+			if ok && !math.IsNaN(base[b.Name]) {
+				if r, rerr := stats.OverheadErr(med, base[b.Name]); rerr == nil {
+					ratio = r
+				}
+			} else if !ok && err == nil {
+				// Unreachable without a BatchError; keep the warning in
+				// case a future path produces empty groups silently.
+				opt.printf("warning: %s %s: no surviving runs\n", b.Name, cfg.Name)
+			}
+			ov.ByBench[b.Name] = ratio
 			off += runs
 		}
 		out = append(out, ov)
 	}
-	return out, nil
+	return out, err
 }
 
 // Table1Row is one row of Table 1.
@@ -212,7 +289,7 @@ type Table1Row struct {
 func Table1(opt Options) ([]Table1Row, error) {
 	cfgs := defense.Components()
 	ovs, err := MeasureOverheads(cfgs, vm.EPYCRome(), opt)
-	if err != nil {
+	if ovs == nil {
 		return nil, err
 	}
 	label := map[string]string{
@@ -226,9 +303,9 @@ func Table1(opt Options) ([]Table1Row, error) {
 		_, max := ov.Max()
 		r := Table1Row{Name: label[ov.Config], Max: max, Geomean: ov.Geomean()}
 		rows = append(rows, r)
-		opt.printf("%-8s %6.2f %9.2f\n", r.Name, r.Max, r.Geomean)
+		opt.printf("%-8s %6s %9s\n", r.Name, fmtRatio("%.2f", r.Max), fmtRatio("%.2f", r.Geomean))
 	}
-	return rows, nil
+	return rows, err
 }
 
 // Table2Row is one row of Table 2.
@@ -259,18 +336,33 @@ func Table2(opt Options) ([]Table2Row, error) {
 			cells = append(cells, exec.Cell{Module: m, Cfg: defense.Off(), Seed: 100 + uint64(i)*77, Prof: vm.EPYCRome()})
 		}
 	}
-	results, err := opt.Eng.RunCells(cells)
+	results, err := opt.Eng.RunCells(opt.ctx(), cells)
 	if err != nil {
-		i, cause := exec.SplitError(err)
-		return nil, fmt.Errorf("%s: %w", specs[i/runs].Name, cause)
+		if cerr := opt.ctx().Err(); cerr != nil {
+			return nil, cerr
+		}
+		be, ok := exec.AsBatchError(err)
+		if !ok {
+			i, cause := exec.SplitError(err)
+			return nil, fmt.Errorf("%s: %w", specs[i/runs].Name, cause)
+		}
+		for _, f := range be.Failures {
+			opt.printf("warning: %s run failed: %v\n", specs[f.Index/runs].Name, f.Err)
+		}
 	}
 	var rows []Table2Row
 	opt.printf("Table 2: median call frequencies (scaled to paper magnitude)\n")
 	opt.printf("%-10s %15s %18s %18s\n", "benchmark", "measured", "scaled", "paper")
 	for bi, b := range specs {
-		counts := make([]uint64, runs)
+		counts := make([]uint64, 0, runs)
 		for i := 0; i < runs; i++ {
-			counts[i] = results[bi*runs+i].Calls
+			if res := results[bi*runs+i]; res != nil {
+				counts = append(counts, res.Calls)
+			}
+		}
+		if len(counts) == 0 {
+			opt.printf("%-10s %15s %18s %18d\n", b.Name, "n/a", "n/a", b.PaperCalls)
+			continue
 		}
 		med := stats.MedianU64(counts)
 		row := Table2Row{
@@ -282,7 +374,7 @@ func Table2(opt Options) ([]Table2Row, error) {
 		rows = append(rows, row)
 		opt.printf("%-10s %15d %18d %18d\n", row.Benchmark, row.Measured, row.Scaled, row.Paper)
 	}
-	return rows, nil
+	return rows, err
 }
 
 // Figure6Series is the full-R2C overhead series for one machine.
@@ -301,10 +393,14 @@ func Figure6(opt Options) ([]Figure6Series, error) {
 	// build is a cache hit.
 	opt = opt.withEngine()
 	var out []Figure6Series
+	var firstErr error
 	for _, prof := range vm.AllMachines() {
 		ovs, err := MeasureOverheads([]defense.Config{defense.R2CFull()}, prof, opt)
-		if err != nil {
+		if ovs == nil {
 			return nil, fmt.Errorf("%s: %w", prof.Name, err)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", prof.Name, err)
 		}
 		s := Figure6Series{Machine: prof.Name, ByBench: map[string]float64{}}
 		names := make([]string, 0, len(ovs[0].ByBench))
@@ -326,16 +422,16 @@ func Figure6(opt Options) ([]Figure6Series, error) {
 	for _, b := range workload.SPEC() {
 		opt.printf("%-10s", b.Name)
 		for _, s := range out {
-			opt.printf(" %12.1f", s.ByBench[b.Name])
+			opt.printf(" %12s", fmtRatio("%.1f", s.ByBench[b.Name]))
 		}
 		opt.printf("\n")
 	}
 	opt.printf("%-10s", "geomean")
 	for _, s := range out {
-		opt.printf(" %12.1f", s.Geomean)
+		opt.printf(" %12s", fmtRatio("%.1f", s.Geomean))
 	}
 	opt.printf("\n")
-	return out, nil
+	return out, firstErr
 }
 
 // OIAResult is the offset-invariant addressing measurement.

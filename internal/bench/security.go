@@ -117,7 +117,7 @@ func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
 			a := a
 			outcomes := make([]attack.Outcome, trials)
 			evidence := make([][]attack.ForensicHit, trials)
-			err := opt.Eng.MapTracked(trials, cfg.Name+"/"+a.name, func(i int) error {
+			err := opt.Eng.MapTracked(opt.ctx(), trials, cfg.Name+"/"+a.name, func(i int) error {
 				seed := uint64(1000*i+7) + uint64(len(rows))*31
 				if a.run == nil { // PIROP: persistent across worker restarts
 					outcomes[i], evidence[i] = attack.PIROPPersistentForensic(cfg, seed, 12)
@@ -242,7 +242,7 @@ func Prob(opt Options, trials int) ([]ProbPoint, error) {
 		// trials parallelize; per-trial counts are summed in trial order.
 		type trialCount struct{ hits, picks int }
 		counts := make([]trialCount, trials)
-		err := opt.Eng.MapTracked(trials, cfg.Name, func(i int) error {
+		err := opt.Eng.MapTracked(opt.ctx(), trials, cfg.Name, func(i int) error {
 			s, err := attack.NewScenarioObserved(cfg, uint64(i)*97+3, opt.Obs)
 			if err != nil {
 				return err

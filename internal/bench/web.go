@@ -88,7 +88,7 @@ func Webserver(opt Options) ([]WebResult, error) {
 		}
 	}
 	rps := make([]float64, len(tasks))
-	err := opt.Eng.Pool.Map(len(tasks), func(i int) error {
+	err := opt.Eng.Pool.Map(opt.ctx(), len(tasks), func(i int) error {
 		t := &tasks[i]
 		r, err := webRun(opt.Eng, t.m, t.cfg, t.prof, t.seed, requests, opt.Obs)
 		if err != nil {
@@ -158,7 +158,7 @@ func Memory(opt Options) (*MemResult, error) {
 		maxrssPct, sampledPct float64
 	}
 	memRows := make([]memRow, len(specs))
-	err := opt.Eng.Pool.Map(len(specs), func(i int) error {
+	err := opt.Eng.Pool.Map(opt.ctx(), len(specs), func(i int) error {
 		b := specs[i]
 		m := b.Build(opt.scale())
 		base, _, err := opt.Eng.Run(m, defense.Off(), 3, vm.EPYCRome())

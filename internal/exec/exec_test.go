@@ -1,6 +1,7 @@
 package exec_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -182,7 +183,7 @@ func TestPoolMapDeterministic(t *testing.T) {
 		p := exec.NewPool(jobs, nil)
 		out := make([]int, n)
 		var calls atomic.Int64
-		err := p.Map(n, func(i int) error {
+		err := p.Map(context.Background(), n, func(i int) error {
 			calls.Add(1)
 			out[i] = i * i
 			return nil
@@ -202,7 +203,7 @@ func TestPoolMapDeterministic(t *testing.T) {
 		// Failures: every index still runs, and the lowest failing index wins
 		// regardless of scheduling.
 		calls.Store(0)
-		err = p.Map(n, func(i int) error {
+		err = p.Map(context.Background(), n, func(i int) error {
 			calls.Add(1)
 			if i%7 == 3 {
 				return fmt.Errorf("fail %d", i)
@@ -228,7 +229,7 @@ func TestRunCellsCellError(t *testing.T) {
 		{Module: m, Cfg: defense.Off(), Seed: 1, Prof: vm.EPYCRome()},
 		{Module: bad, Cfg: defense.Off(), Seed: 1, Prof: vm.EPYCRome()},
 	}
-	_, err := eng.RunCells(cells)
+	_, err := eng.RunCells(context.Background(), cells)
 	if err == nil {
 		t.Fatal("module without entry function built successfully")
 	}

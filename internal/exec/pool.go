@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -41,30 +43,51 @@ func (p *Pool) Width() int {
 // failing cell with the lowest index, so error reporting is deterministic
 // too. fn must be safe for concurrent invocation on distinct indices and
 // should communicate results by writing to index-addressed storage.
-func (p *Pool) Map(n int, fn func(i int) error) error {
-	return p.MapW(n, func(i, _ int) error { return fn(i) })
+func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
+	return p.MapW(ctx, n, func(i, _ int) error { return fn(i) })
 }
 
 // MapW is Map with the worker index (0..Width-1) passed alongside the item
 // index, for instrumentation that wants to attribute work to lanes (span
 // thread ids, per-worker progress). Which worker runs which item is a
 // scheduling accident — results must never depend on w.
-func (p *Pool) MapW(n int, fn func(i, w int) error) error {
+func (p *Pool) MapW(ctx context.Context, n int, fn func(i, w int) error) error {
+	for _, err := range p.MapErrs(ctx, n, fn) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// safeCall runs fn(i, w) with a recover barrier: a panicking item becomes a
+// *PanicError instead of killing the process, so one bad cell degrades to a
+// reported failure while the rest of the sweep completes. The error message
+// carries only the panic value (deterministic at any width); the goroutine
+// stack rides along in the Stack field for forensics.
+func safeCall(fn func(i, w int) error, i, w int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i, w)
+}
+
+// MapErrs is the pool's core: it runs fn(0..n-1) and returns the per-index
+// error slice, one slot per item, so callers that tolerate partial failure
+// (RunCells' batch summary) see every failure instead of only the first.
+// Panics in fn are isolated per item via safeCall. A cancelled ctx stops
+// dispatch: items not yet started fail with ctx.Err() without running, while
+// items already in flight finish on their own (the per-cell watchdog, not
+// the pool, is responsible for interrupting them). ctx may be nil.
+func (p *Pool) MapErrs(ctx context.Context, n int, fn func(i, w int) error) []error {
 	if n <= 0 {
 		return nil
 	}
 	width := p.Width()
 	if width > n {
 		width = n
-	}
-	if width <= 1 {
-		var first error
-		for i := 0; i < n; i++ {
-			if err := fn(i, 0); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
 	}
 
 	var obs *telemetry.Observer
@@ -78,6 +101,18 @@ func (p *Pool) MapW(n int, fn func(i, w int) error) error {
 	depth.Set(float64(n))
 
 	errs := make([]error, n)
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			depth.Set(float64(pending.Add(-1)))
+			if ctx != nil && ctx.Err() != nil {
+				errs[i] = ctx.Err()
+				continue
+			}
+			errs[i] = safeCall(fn, i, 0)
+		}
+		return errs
+	}
+
 	next := atomic.Int64{}
 	var wg sync.WaitGroup
 	wg.Add(width)
@@ -90,15 +125,14 @@ func (p *Pool) MapW(n int, fn func(i, w int) error) error {
 					return
 				}
 				depth.Set(float64(pending.Add(-1)))
-				errs[i] = fn(i, w)
+				if ctx != nil && ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
+				errs[i] = safeCall(fn, i, w)
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errs
 }

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"r2c/internal/telemetry"
 )
 
 // progressState is the engine's live view of the run, feeding the ops
@@ -84,8 +86,11 @@ type Progress struct {
 	CacheHitRate string `json:"cache_hit_rate"`
 	ElapsedMs    int64  `json:"elapsed_ms"`
 	// EtaMs linearly extrapolates the remaining cells from the per-cell
-	// throughput so far; -1 while no cell has finished.
-	EtaMs int64 `json:"eta_ms"`
+	// throughput so far; -1 while no cell has finished. Eta is the human
+	// rendering of the same value — "n/a" while there is no estimate —
+	// so /progress consumers never see a sentinel or non-finite number.
+	EtaMs int64  `json:"eta_ms"`
+	Eta   string `json:"eta"`
 }
 
 // snapshot captures the current progress. now is time.Now, injectable for
@@ -93,7 +98,7 @@ type Progress struct {
 func (p *progressState) snapshot(now time.Time) Progress {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	s := Progress{Done: p.done, Total: p.total, EtaMs: -1}
+	s := Progress{Done: p.done, Total: p.total, EtaMs: -1, Eta: "n/a"}
 	if !p.start.IsZero() {
 		s.ElapsedMs = now.Sub(p.start).Milliseconds()
 	}
@@ -109,6 +114,7 @@ func (p *progressState) snapshot(now time.Time) Progress {
 	if p.done > 0 && p.total > p.done && s.ElapsedMs > 0 {
 		s.EtaMs = s.ElapsedMs * int64(p.total-p.done) / int64(p.done)
 	}
+	s.Eta = telemetry.FormatETA(float64(s.EtaMs))
 	return s
 }
 

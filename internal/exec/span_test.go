@@ -1,6 +1,7 @@
 package exec_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -32,7 +33,7 @@ func runCellsSpans(t *testing.T, jobs, n int) []telemetry.SpanData {
 	for i := range cells {
 		cells[i] = exec.Cell{Module: m, Cfg: defense.R2CFull(), Seed: uint64(100 + i), Prof: vm.EPYCRome()}
 	}
-	if _, err := eng.RunCells(cells); err != nil {
+	if _, err := eng.RunCells(context.Background(), cells); err != nil {
 		t.Fatal(err)
 	}
 	return col.Spans()

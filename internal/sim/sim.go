@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"r2c/internal/codegen"
@@ -107,13 +108,35 @@ func ExecProcess(proc *rt.Process, prof *vm.Profile, obs *telemetry.Observer) (*
 // child span carrying the retired-instruction and modeled-cycle counts, plus
 // how the run ended). sp may be nil.
 func ExecProcessSpan(proc *rt.Process, prof *vm.Profile, obs *telemetry.Observer, sp *telemetry.Span) (*vm.Result, error) {
+	return ExecProcessSpanCtx(context.Background(), proc, prof, obs, sp, 0)
+}
+
+// ExecProcessCtx is ExecProcess with a cancellation context and an explicit
+// fuel budget — the seam the exec engine's per-cell watchdog uses. maxInstr
+// is the total instruction allowance (0 means DefaultBudget); exhausting it
+// returns an error wrapping vm.ErrFuelExhausted, and a cancelled ctx returns
+// ctx.Err() unwrapped so callers can distinguish deadline from fuel. A
+// background ctx with maxInstr 0 is identical to ExecProcess.
+func ExecProcessCtx(ctx context.Context, proc *rt.Process, prof *vm.Profile, obs *telemetry.Observer, maxInstr uint64) (*vm.Result, error) {
+	return ExecProcessSpanCtx(ctx, proc, prof, obs, nil, maxInstr)
+}
+
+// ExecProcessSpanCtx combines ExecProcessSpan and ExecProcessCtx: traced,
+// cancellable, fuel-bounded execution. The chunked cancellable run retires
+// the identical instruction stream as the plain one (vm.RunCtx resumes
+// bit-exactly), so ctx and maxInstr never perturb a run they don't stop.
+func ExecProcessSpanCtx(ctx context.Context, proc *rt.Process, prof *vm.Profile, obs *telemetry.Observer, sp *telemetry.Span, maxInstr uint64) (*vm.Result, error) {
+	fuel := maxInstr
+	if fuel == 0 {
+		fuel = DefaultBudget
+	}
 	es := sp.Child("sim.exec", 0)
 	defer es.End()
 	mach := vm.New(proc, prof)
 	if obs.Profiling() {
 		mach.EnableProfiler()
 	}
-	res, err := mach.Run(DefaultBudget)
+	res, err := mach.RunCtx(ctx, fuel, 0)
 	if res != nil {
 		es.SetAttr("instructions", res.Instructions)
 		es.SetAttr("cycles", res.Cycles)
@@ -124,6 +147,10 @@ func ExecProcessSpan(proc *rt.Process, prof *vm.Profile, obs *telemetry.Observer
 			es.SetAttr("end", "fault")
 		case res.Halted:
 			es.SetAttr("end", "halt")
+		case err == vm.ErrFuelExhausted:
+			es.SetAttr("end", "fuel")
+		case err != nil && ctx.Err() != nil:
+			es.SetAttr("end", "cancelled")
 		default:
 			es.SetAttr("end", "budget")
 		}
@@ -133,6 +160,10 @@ func ExecProcessSpan(proc *rt.Process, prof *vm.Profile, obs *telemetry.Observer
 		if p := mach.Profiler(); p != nil {
 			p.Publish(reg)
 		}
+	}
+	if err == vm.ErrFuelExhausted {
+		es.SetAttr("error", "fuel exhausted")
+		return res, fmt.Errorf("sim: fuel limit of %d instructions exhausted: %w", fuel, vm.ErrFuelExhausted)
 	}
 	if err != nil {
 		return res, err

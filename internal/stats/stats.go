@@ -5,23 +5,37 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
 
-// Median returns the median of xs. It panics on empty input.
+// Median returns the median of xs. It panics on empty input; sweep code
+// that can legitimately see an empty sample (partial-failure tolerance)
+// should use MedianErr.
 func Median(xs []float64) float64 {
+	m, err := MedianErr(xs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// MedianErr is Median returning an error instead of panicking on empty
+// input — the crash path a partially-failed sweep would otherwise hit when
+// every run of one benchmark died.
+func MedianErr(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("stats: median of empty slice")
+		return 0, errors.New("stats: median of empty slice")
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	n := len(s)
 	if n%2 == 1 {
-		return s[n/2]
+		return s[n/2], nil
 	}
-	return (s[n/2-1] + s[n/2]) / 2
+	return (s[n/2-1] + s[n/2]) / 2, nil
 }
 
 // MedianU64 returns the median of unsigned counts.
@@ -35,18 +49,31 @@ func MedianU64(xs []uint64) uint64 {
 }
 
 // GeoMean returns the geometric mean of xs (all values must be positive).
+// It panics on empty or non-positive input; sweep code that can see
+// zero-cycle baselines or empty ratio sets should use GeoMeanErr.
 func GeoMean(xs []float64) float64 {
+	g, err := GeoMeanErr(xs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return g
+}
+
+// GeoMeanErr is GeoMean returning an error instead of panicking — the
+// "stats: geomean of non-positive value" crash a zero-cycle baseline used
+// to inflict on a whole sweep.
+func GeoMeanErr(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("stats: geomean of empty slice")
+		return 0, errors.New("stats: geomean of empty slice")
 	}
 	sum := 0.0
 	for _, x := range xs {
 		if x <= 0 {
-			panic(fmt.Sprintf("stats: geomean of non-positive value %v", x))
+			return 0, fmt.Errorf("stats: geomean of non-positive value %v", x)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
 }
 
 // Max returns the maximum of xs.
@@ -64,12 +91,23 @@ func Max(xs []float64) float64 {
 }
 
 // Overhead returns the relative overhead of measured vs baseline as a
-// ratio (1.06 = +6%).
+// ratio (1.06 = +6%). It panics on a non-positive baseline; sweep code
+// should use OverheadErr.
 func Overhead(measured, baseline float64) float64 {
-	if baseline <= 0 {
-		panic("stats: non-positive baseline")
+	r, err := OverheadErr(measured, baseline)
+	if err != nil {
+		panic(err.Error())
 	}
-	return measured / baseline
+	return r
+}
+
+// OverheadErr is Overhead returning an error instead of panicking on a
+// non-positive baseline (a zero-cycle or failed baseline run).
+func OverheadErr(measured, baseline float64) (float64, error) {
+	if baseline <= 0 {
+		return 0, errors.New("stats: non-positive baseline")
+	}
+	return measured / baseline, nil
 }
 
 // Pct converts an overhead ratio to a percentage (1.066 → 6.6).

@@ -1,0 +1,24 @@
+package telemetry
+
+import (
+	"math"
+	"time"
+)
+
+// FormatETA renders an estimated-time-remaining in milliseconds for humans
+// and JSON: "n/a" when there is no meaningful estimate — a negative
+// sentinel, NaN, or an infinity, the values a zero-completed-cells
+// extrapolation produces — and a seconds-rounded duration string otherwise.
+// Keeping the non-finite cases out of the payload matters beyond cosmetics:
+// encoding/json refuses NaN/Inf, so an unguarded ETA turns the whole
+// /progress response into an error.
+func FormatETA(ms float64) string {
+	if math.IsNaN(ms) || math.IsInf(ms, 0) || ms < 0 {
+		return "n/a"
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d >= time.Second {
+		d = d.Round(time.Second)
+	}
+	return d.String()
+}

@@ -50,14 +50,24 @@ func ServeOps(addr string, reg *Registry, progress func() any) (*OpsServer, erro
 		WritePrometheus(w, reg.Snapshot())
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
 		var v any = struct{}{}
 		if progress != nil {
 			v = progress()
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(v)
+		// Marshal before writing headers: a snapshot carrying a
+		// non-finite float (+Inf ETA and friends) is not valid JSON, and
+		// encoding straight into the ResponseWriter would send a 200 with
+		// a silently truncated body. Sources are expected to pre-render
+		// such values (see FormatETA); if one slips through, report it.
+		body, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(body, '\n'))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -13,6 +13,12 @@ import (
 // ErrInstructionBudget is returned when execution exceeds the step budget.
 var ErrInstructionBudget = errors.New("vm: instruction budget exhausted")
 
+// ErrFuelExhausted is returned by RunCtx when the caller's total fuel
+// allowance runs out — the typed signal a runaway program (an infinite loop
+// in lowered code) hands to the execution engine's watchdog, distinct from
+// the incremental pause ErrInstructionBudget models.
+var ErrFuelExhausted = errors.New("vm: fuel limit exhausted")
+
 // CPU is the architectural register state.
 type CPU struct {
 	PC uint64
