@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench check clean
+.PHONY: all build vet test test-race bench audit check clean
 
 all: check
 
@@ -29,6 +29,14 @@ bench:
 	$(GO) test -bench=. -benchmem -count=1 -run=^$$ .
 	$(GO) run ./cmd/r2cbench -scale 8 -runs 1 -metrics-out BENCH_figure6.json figure6
 	$(GO) run ./cmd/r2cattack -trials 4 -metrics-out BENCH_table3.json table3
+
+# Diversity-audit smoke: 8 re-diversified builds of the attack victim under
+# full R2C, emitted as the machine-readable JSON report. CI runs this to keep
+# the auditor's CLI path (module resolution → parallel builds → deterministic
+# fold → JSON) exercised end to end; the report lands in AUDIT_victim.json.
+audit:
+	$(GO) run ./cmd/r2caudit -config r2c -variants 8 -json victim > AUDIT_victim.json
+	$(GO) run ./cmd/r2caudit -config r2c -variants 8 victim
 
 # The tier-1 gate: what CI (.github/workflows/ci.yml) runs. The exec engine
 # and the telemetry package (ops HTTP server, span sinks, registry) are cheap

@@ -1,0 +1,121 @@
+// Command r2caudit is the variant diversity auditor: it builds N
+// re-diversified images of one workload under one defense configuration and
+// reports how random the randomization actually is — placement-order
+// entropy, the distributions of every randomized code-generation choice
+// (BTRA pre/post offsets, NOP runs, global padding, BTDP placement,
+// register allocation), and the pairwise survivor surface: addresses,
+// gadget-like instruction windows and data words an address-oblivious
+// attacker could carry unchanged from one variant to another.
+//
+// The report is deterministic: identical inputs produce byte-identical
+// output at any -jobs width, so reports can be diffed across toolchain
+// versions and checked into CI as goldens.
+//
+// Usage:
+//
+//	r2caudit [-config NAME] [-variants N] [-seed N] [-scale N] [-gadget-len N]
+//	         [-jobs N] [-json] [-metrics-out FILE] <workload>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"r2c/internal/attack"
+	"r2c/internal/audit"
+	"r2c/internal/defense"
+	"r2c/internal/exec"
+	"r2c/internal/telemetry"
+	"r2c/internal/tir"
+	"r2c/internal/workload"
+)
+
+func main() {
+	cfgName := flag.String("config", "r2c", "defense configuration (baseline, r2c, push, avx, btdp, prolog, layout, oia, ...)")
+	variants := flag.Int("variants", 16, "number of re-diversified builds to compare (≥ 2)")
+	seed := flag.Uint64("seed", 1, "base seed; variant i builds with seed+i")
+	scale := flag.Int("scale", 8, "workload scale divisor")
+	gadgetLen := flag.Int("gadget-len", audit.DefaultGadgetLen, "instruction-window length of the gadget survivor analysis")
+	jobs := flag.Int("jobs", 0, "parallel builds (0 = GOMAXPROCS, 1 = serial); the report is identical at any width")
+	asJSON := flag.Bool("json", false, "emit the machine-readable JSON report instead of the text report")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (audit histograms and gauges) to FILE")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: r2caudit [flags] <workload|victim|FILE.tir>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg, ok := defense.ByName(*cfgName)
+	if !ok {
+		fatal(fmt.Errorf("unknown config %q", *cfgName))
+	}
+	mod, err := resolveModule(flag.Arg(0), *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	obs := &telemetry.Observer{Registry: telemetry.NewRegistry()}
+	rep, err := audit.Run(audit.Options{
+		Module:    mod,
+		Cfg:       cfg,
+		Variants:  *variants,
+		BaseSeed:  *seed,
+		GadgetLen: *gadgetLen,
+		Eng:       exec.New(*jobs, obs),
+		Obs:       obs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		err = rep.WriteJSON(os.Stdout)
+	} else {
+		err = rep.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.Registry.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// resolveModule mirrors r2cc's workload resolution: a built-in workload
+// name, the attack victim, or a .tir file.
+func resolveModule(name string, scale int) (*tir.Module, error) {
+	if name == "victim" {
+		return attack.Victim(), nil
+	}
+	if b, ok := workload.ByName(name); ok {
+		return b.Build(scale), nil
+	}
+	if strings.HasSuffix(name, ".tir") {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		return tir.Parse(string(src))
+	}
+	return nil, fmt.Errorf("unknown workload %q (SPEC name, nginx, apache, victim, or a .tir file)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "r2caudit:", err)
+	os.Exit(1)
+}

@@ -42,6 +42,7 @@ var experiments = []struct {
 	{"avx512", func(o bench.Options) error { _, err := bench.AVX512(o); return err }},
 	{"scale", func(o bench.Options) error { _, err := bench.Scale(o, 2000); return err }},
 	{"ablations", func(o bench.Options) error { _, err := bench.Ablations(o); return err }},
+	{"diversity", func(o bench.Options) error { _, err := bench.Diversity(o); return err }},
 }
 
 func knownExperiments() []string {

@@ -1,0 +1,178 @@
+package audit
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file holds the entropy estimators the diversity report is built
+// from. Everything is plain counting plus -Σ p·log2(p); the estimators are
+// exact for the empirical distribution (no bias correction), which is the
+// right tool here: the report compares the observed variant set against the
+// ideal where all N variants differ, so the natural ceiling is log2(N) and
+// a plug-in estimate against that ceiling is directly interpretable.
+
+// Dist is an integer-valued empirical distribution: value → observation
+// count. The auditor uses it for every scalar diversity dimension (BTRA
+// pre/post offsets, NOP runs, padding bytes, BTDP counts and slot offsets).
+type Dist map[int64]uint64
+
+// Observe adds one observation of v.
+func (d Dist) Observe(v int64) { d[v]++ }
+
+// Total returns the number of observations.
+func (d Dist) Total() uint64 {
+	var n uint64
+	for _, c := range d {
+		n += c
+	}
+	return n
+}
+
+// Shannon returns the Shannon entropy of the empirical distribution, in
+// bits. An empty or single-valued distribution has zero entropy.
+func (d Dist) Shannon() float64 {
+	return shannon(counts(d))
+}
+
+// Support returns the distinct observed values in ascending order.
+func (d Dist) Support() []int64 {
+	out := make([]int64, 0, len(d))
+	for v := range d {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// counts flattens a Dist to its count multiset.
+func counts(d Dist) []uint64 {
+	out := make([]uint64, 0, len(d))
+	for _, c := range d {
+		out = append(out, c)
+	}
+	return out
+}
+
+// shannon is the core estimator: entropy in bits of the distribution whose
+// class counts are cs.
+func shannon(cs []uint64) float64 {
+	var total float64
+	for _, c := range cs {
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range cs {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	// Clamp the tiny negative residue floating-point summation can leave
+	// for a single-class distribution.
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// PermutationEntropy treats each order as one symbol (the whole permutation)
+// and returns the Shannon entropy of the resulting distribution, in bits.
+// With N variants the ceiling is log2(N), reached when every variant
+// produced a distinct order; a constant order scores 0; an even split
+// between two orders (a "single swap" population) scores exactly 1 bit.
+func PermutationEntropy(orders [][]string) float64 {
+	counts := map[string]uint64{}
+	for _, o := range orders {
+		counts[strings.Join(o, "\x00")]++
+	}
+	cs := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	return shannon(cs)
+}
+
+// PositionalEntropy returns the mean per-position Shannon entropy of which
+// element occupies each position, in bits. Unlike PermutationEntropy it
+// rewards orders that differ in many places over orders that differ in one:
+// two orders related by a single swap score near zero here even though they
+// are distinct permutations. Orders of differing lengths are truncated to
+// the shortest.
+func PositionalEntropy(orders [][]string) float64 {
+	if len(orders) == 0 {
+		return 0
+	}
+	minLen := len(orders[0])
+	for _, o := range orders[1:] {
+		if len(o) < minLen {
+			minLen = len(o)
+		}
+	}
+	if minLen == 0 {
+		return 0
+	}
+	var sum float64
+	for pos := 0; pos < minLen; pos++ {
+		occ := map[string]uint64{}
+		for _, o := range orders {
+			occ[o[pos]]++
+		}
+		cs := make([]uint64, 0, len(occ))
+		for _, c := range occ {
+			cs = append(cs, c)
+		}
+		sum += shannon(cs)
+	}
+	return sum / float64(minLen)
+}
+
+// SequenceEntropy is PermutationEntropy for arbitrary string sequences
+// (register-allocation orders, strategy sequences): entropy in bits over
+// the distinct sequences observed.
+func SequenceEntropy(seqs []string) float64 {
+	counts := map[string]uint64{}
+	for _, s := range seqs {
+		counts[s]++
+	}
+	cs := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	return shannon(cs)
+}
+
+// EntropyStat packages an entropy estimate with its ceiling for the report:
+// Bits is the estimate, MaxBits the log2 of the population size (the best
+// any randomizer can do with that many variants), Normalized the ratio
+// (0 when the ceiling is 0, i.e. a single variant).
+type EntropyStat struct {
+	Bits       float64 `json:"bits"`
+	MaxBits    float64 `json:"max_bits"`
+	Normalized float64 `json:"normalized"`
+}
+
+// NewEntropyStat builds an EntropyStat against a population of n variants.
+func NewEntropyStat(bits float64, n int) EntropyStat {
+	max := 0.0
+	if n > 1 {
+		max = math.Log2(float64(n))
+	}
+	norm := 0.0
+	if max > 0 {
+		norm = bits / max
+	}
+	return EntropyStat{Bits: roundStat(bits), MaxBits: roundStat(max), Normalized: roundStat(norm)}
+}
+
+// roundStat rounds to 6 decimal places so report floats have one canonical
+// rendering: the JSON report is compared byte-for-byte across -jobs widths
+// and against golden files, and sub-micro-bit noise would only obscure that.
+func roundStat(v float64) float64 {
+	return math.Round(v*1e6) / 1e6
+}

@@ -1,0 +1,134 @@
+package audit
+
+import (
+	"math"
+	"testing"
+)
+
+// The estimators are checked against closed-form values: a constant
+// population has zero entropy, N all-distinct outcomes have log2(N) bits,
+// and an even two-way split has exactly 1 bit.
+
+const eps = 1e-9
+
+func near(t *testing.T, got, want float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > eps {
+		t.Errorf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestDistShannonClosedForms(t *testing.T) {
+	constant := Dist{}
+	for i := 0; i < 16; i++ {
+		constant.Observe(7)
+	}
+	near(t, constant.Shannon(), 0, "constant dist entropy")
+
+	uniform := Dist{}
+	for i := int64(0); i < 8; i++ {
+		uniform.Observe(i)
+	}
+	near(t, uniform.Shannon(), 3, "uniform-8 dist entropy")
+
+	split := Dist{}
+	for i := 0; i < 4; i++ {
+		split.Observe(0)
+		split.Observe(1)
+	}
+	near(t, split.Shannon(), 1, "even-split dist entropy")
+
+	near(t, Dist{}.Shannon(), 0, "empty dist entropy")
+}
+
+func TestDistAccessors(t *testing.T) {
+	d := Dist{}
+	d.Observe(3)
+	d.Observe(3)
+	d.Observe(-1)
+	if got := d.Total(); got != 3 {
+		t.Errorf("Total = %d, want 3", got)
+	}
+	sup := d.Support()
+	if len(sup) != 2 || sup[0] != -1 || sup[1] != 3 {
+		t.Errorf("Support = %v, want [-1 3]", sup)
+	}
+}
+
+func perms(n int, distinct bool) [][]string {
+	base := []string{"a", "b", "c", "d"}
+	out := make([][]string, n)
+	for i := range out {
+		o := append([]string(nil), base...)
+		if distinct {
+			// Rotate by i so every variant is a distinct permutation.
+			o = append(base[i%len(base):], base[:i%len(base)]...)
+		}
+		out[i] = o
+	}
+	return out
+}
+
+func TestPermutationEntropyClosedForms(t *testing.T) {
+	near(t, PermutationEntropy(perms(4, false)), 0, "constant orders")
+	near(t, PermutationEntropy(perms(4, true)), 2, "4 distinct orders")
+
+	// Single-swap population: half the variants swap one adjacent pair —
+	// two distinct permutations, evenly split, exactly 1 bit.
+	orders := [][]string{
+		{"a", "b", "c"}, {"a", "b", "c"},
+		{"b", "a", "c"}, {"b", "a", "c"},
+	}
+	near(t, PermutationEntropy(orders), 1, "single-swap split")
+}
+
+func TestPositionalEntropyClosedForms(t *testing.T) {
+	near(t, PositionalEntropy(perms(4, false)), 0, "constant orders")
+
+	// Full rotations: every element visits every position uniformly, so
+	// each position contributes log2(4) = 2 bits.
+	near(t, PositionalEntropy(perms(4, true)), 2, "rotated orders")
+
+	// Single swap touching positions 0 and 1 of 3: those two positions
+	// carry 1 bit each, the third none — mean 2/3.
+	orders := [][]string{
+		{"a", "b", "c"}, {"a", "b", "c"},
+		{"b", "a", "c"}, {"b", "a", "c"},
+	}
+	near(t, PositionalEntropy(orders), 2.0/3.0, "single-swap positional")
+
+	near(t, PositionalEntropy(nil), 0, "no orders")
+}
+
+func TestSequenceEntropy(t *testing.T) {
+	near(t, SequenceEntropy([]string{"x", "x", "x"}), 0, "constant sequences")
+	near(t, SequenceEntropy([]string{"a", "b", "c", "d"}), 2, "distinct sequences")
+	near(t, SequenceEntropy([]string{"a", "a", "b", "b"}), 1, "even split")
+}
+
+func TestNewEntropyStat(t *testing.T) {
+	s := NewEntropyStat(1.5, 8)
+	near(t, s.Bits, 1.5, "bits")
+	near(t, s.MaxBits, 3, "max bits")
+	near(t, s.Normalized, 0.5, "normalized")
+
+	z := NewEntropyStat(0, 1)
+	near(t, z.MaxBits, 0, "single-variant ceiling")
+	near(t, z.Normalized, 0, "single-variant normalized")
+}
+
+func TestNewDistStat(t *testing.T) {
+	d := Dist{}
+	for _, v := range []int64{2, 2, 4, 8} {
+		d.Observe(v)
+	}
+	s := newDistStat(d)
+	if s.Count != 4 || s.Distinct != 3 || s.Min != 2 || s.Max != 8 {
+		t.Errorf("stat = %+v", s)
+	}
+	near(t, s.Mean, 4, "mean")
+	near(t, s.Bits, 1.5, "bits") // counts {2,1,1} → 1.5 bits
+	if len(s.Buckets) != 3 || s.Buckets[0] != (Bucket{2, 2}) {
+		t.Errorf("buckets = %v", s.Buckets)
+	}
+}

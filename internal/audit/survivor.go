@@ -1,0 +1,175 @@
+package audit
+
+import "sort"
+
+// This file is the survivor-surface analysis: the pairwise intersection of
+// what an address-oblivious attacker could carry from one variant to
+// another. AOCR works precisely because some addresses and code/data shapes
+// survive re-randomization (Section 2.2 of the paper; the attack clusters
+// leaked values and reuses whole functions whose relative placement it can
+// re-derive) — so the auditor reports, for every variant pair, the fraction
+// of function offsets, global offsets, gadget-like instruction windows and
+// initialized data words that are bit-identical after rebasing out ASLR.
+// A strong configuration drives every rate toward zero; the baseline sits
+// at 1.0 by construction.
+
+// PairRates holds the survivor rates of one variant pair (A < B, indices
+// into the seed schedule).
+type PairRates struct {
+	A int `json:"a"`
+	B int `json:"b"`
+	// FuncOffset is the fraction of functions placed at the same text
+	// offset in both variants; GlobalOffset the same for data globals.
+	FuncOffset   float64 `json:"func_offset"`
+	GlobalOffset float64 `json:"global_offset"`
+	// Gadget is the fraction of common instruction-boundary offsets whose
+	// gadget-length operation window is identical in both variants.
+	Gadget float64 `json:"gadget"`
+	// DataWord is the fraction of common initialized data offsets holding
+	// the same ASLR-normalized word.
+	DataWord float64 `json:"data_word"`
+}
+
+// SurvivorSym is one symbol with the number of pairs it survived in.
+type SurvivorSym struct {
+	Name  string `json:"name"`
+	Pairs int    `json:"pairs"`
+}
+
+// SurvivorSummary aggregates the pairwise survivor rates.
+type SurvivorSummary struct {
+	Pairs int `json:"pairs"`
+	// Mean/Max over all pairs, per surface. Max is the adversary's best
+	// pair — the number that matters when the attacker can pick targets.
+	MeanFuncOffset   float64 `json:"mean_func_offset"`
+	MaxFuncOffset    float64 `json:"max_func_offset"`
+	MeanGlobalOffset float64 `json:"mean_global_offset"`
+	MaxGlobalOffset  float64 `json:"max_global_offset"`
+	MeanGadget       float64 `json:"mean_gadget"`
+	MaxGadget        float64 `json:"max_gadget"`
+	MeanDataWord     float64 `json:"mean_data_word"`
+	MaxDataWord      float64 `json:"max_data_word"`
+	// TopFuncs and TopGlobals name the symbols that survived in the most
+	// pairs — the concrete residual surface to fix, sorted by pair count
+	// descending then name. Empty when nothing survived.
+	TopFuncs   []SurvivorSym `json:"top_funcs,omitempty"`
+	TopGlobals []SurvivorSym `json:"top_globals,omitempty"`
+	// PerPair carries every pair's rates, in (A,B) lexicographic order.
+	PerPair []PairRates `json:"per_pair"`
+}
+
+// topSurvivorLimit caps the per-symbol survivor tables.
+const topSurvivorLimit = 10
+
+// survivorAnalysis computes the full pairwise survivor summary.
+func survivorAnalysis(vars []*variantSummary) SurvivorSummary {
+	s := SurvivorSummary{}
+	funcSurvivals := map[string]int{}
+	globalSurvivals := map[string]int{}
+
+	for a := 0; a < len(vars); a++ {
+		for b := a + 1; b < len(vars); b++ {
+			va, vb := vars[a], vars[b]
+			pr := PairRates{A: a, B: b}
+			pr.FuncOffset = offsetRate(va.funcOff, vb.funcOff, func(name string) { funcSurvivals[name]++ })
+			pr.GlobalOffset = offsetRate(va.globalOff, vb.globalOff, func(name string) { globalSurvivals[name]++ })
+			pr.Gadget = sigRate(va.gadgetSigs, vb.gadgetSigs)
+			pr.DataWord = sigRate(va.dataWords, vb.dataWords)
+			pr.FuncOffset = roundStat(pr.FuncOffset)
+			pr.GlobalOffset = roundStat(pr.GlobalOffset)
+			pr.Gadget = roundStat(pr.Gadget)
+			pr.DataWord = roundStat(pr.DataWord)
+			s.PerPair = append(s.PerPair, pr)
+		}
+	}
+	s.Pairs = len(s.PerPair)
+	if s.Pairs == 0 {
+		return s
+	}
+	for _, pr := range s.PerPair {
+		s.MeanFuncOffset += pr.FuncOffset
+		s.MeanGlobalOffset += pr.GlobalOffset
+		s.MeanGadget += pr.Gadget
+		s.MeanDataWord += pr.DataWord
+		s.MaxFuncOffset = maxf(s.MaxFuncOffset, pr.FuncOffset)
+		s.MaxGlobalOffset = maxf(s.MaxGlobalOffset, pr.GlobalOffset)
+		s.MaxGadget = maxf(s.MaxGadget, pr.Gadget)
+		s.MaxDataWord = maxf(s.MaxDataWord, pr.DataWord)
+	}
+	n := float64(s.Pairs)
+	s.MeanFuncOffset = roundStat(s.MeanFuncOffset / n)
+	s.MeanGlobalOffset = roundStat(s.MeanGlobalOffset / n)
+	s.MeanGadget = roundStat(s.MeanGadget / n)
+	s.MeanDataWord = roundStat(s.MeanDataWord / n)
+	s.TopFuncs = topSurvivors(funcSurvivals)
+	s.TopGlobals = topSurvivors(globalSurvivals)
+	return s
+}
+
+// offsetRate returns the fraction of symbols present in both maps whose
+// offsets are equal, invoking onSurvive per surviving symbol.
+func offsetRate(a, b map[string]uint64, onSurvive func(name string)) float64 {
+	common, same := 0, 0
+	for name, offA := range a {
+		offB, ok := b[name]
+		if !ok {
+			continue
+		}
+		common++
+		if offA == offB {
+			same++
+			if onSurvive != nil {
+				onSurvive(name)
+			}
+		}
+	}
+	if common == 0 {
+		return 0
+	}
+	return float64(same) / float64(common)
+}
+
+// sigRate returns the fraction of keys present in both maps whose values
+// are equal — the gadget-window and data-word survivor estimator.
+func sigRate(a, b map[uint64]uint64) float64 {
+	common, same := 0, 0
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			continue
+		}
+		common++
+		if va == vb {
+			same++
+		}
+	}
+	if common == 0 {
+		return 0
+	}
+	return float64(same) / float64(common)
+}
+
+// topSurvivors sorts a survival count map into the bounded report table.
+func topSurvivors(m map[string]int) []SurvivorSym {
+	out := make([]SurvivorSym, 0, len(m))
+	for name, n := range m {
+		out = append(out, SurvivorSym{Name: name, Pairs: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pairs != out[j].Pairs {
+			return out[i].Pairs > out[j].Pairs
+		}
+		return out[i].Name < out[j].Name
+	})
+	if len(out) > topSurvivorLimit {
+		out = out[:topSurvivorLimit]
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -117,6 +117,11 @@ type Func struct {
 	Slots []Slot
 	// CalleeSaved lists the callee-saved registers the prologue pushes.
 	CalleeSaved []isa.Reg
+	// RegAllocOrder is the allocation-pool order register allocation used —
+	// the shuffled order under RandomizeRegAlloc, the fixed pool order
+	// otherwise. The diversity auditor measures register-allocation
+	// divergence from it; it is toolchain metadata, invisible at runtime.
+	RegAllocOrder []isa.Reg
 	// NumPrologTraps is the count of trap instructions hidden in the
 	// prolog (Section 4.3).
 	NumPrologTraps int

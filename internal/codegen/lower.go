@@ -275,6 +275,7 @@ func (lw *lowerer) lowerFunc(f *tir.Function) (*Func, error) {
 		out.PostOffset = lw.postOffsets[f.Name]
 	}
 	out.CalleeSaved = lw.alloc.usedPool
+	out.RegAllocOrder = lw.alloc.poolOrder
 
 	// BTDP count (Section 5.2: "How many BTDPs are written per function is
 	// chosen randomly using compile-time parameters", 0..max; the

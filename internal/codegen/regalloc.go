@@ -28,6 +28,7 @@ type loc struct {
 type allocation struct {
 	locs      []loc     // per virtual register
 	usedPool  []isa.Reg // pool registers actually used, in pool order
+	poolOrder []isa.Reg // the (possibly shuffled) allocation pool order
 	numSpills int
 }
 
@@ -144,7 +145,7 @@ func allocate(f *tir.Function, randomize bool, r *rng.RNG) allocation {
 		return ivs[i].vreg < ivs[j].vreg
 	})
 
-	a := allocation{locs: make([]loc, f.NRegs)}
+	a := allocation{locs: make([]loc, f.NRegs), poolOrder: pool}
 	for i := range a.locs {
 		a.locs[i] = loc{spilled: true, slot: -1} // dead vregs default
 	}

@@ -1,0 +1,54 @@
+package defense
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Every knob must perturb the fingerprint: the fingerprint is the config
+// component of the build-cache key, so a knob it missed would alias two
+// different configurations onto one cached build. The test walks Config by
+// reflection, so a future field that %#v somehow failed to distinguish
+// (e.g. a pointer or map rendered by address) is caught the day it is
+// added, not when the cache serves a stale image.
+func TestFingerprintCoversEveryKnob(t *testing.T) {
+	base := R2CFull()
+	baseFP := base.Fingerprint()
+
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		mut := base
+		fv := reflect.ValueOf(&mut).Elem().Field(i)
+		switch fv.Kind() {
+		case reflect.Bool:
+			fv.SetBool(!fv.Bool())
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			fv.SetInt(fv.Int() + 1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fv.SetUint(fv.Uint() + 1)
+		case reflect.String:
+			fv.SetString(fv.String() + "x")
+		default:
+			t.Fatalf("field %s has kind %s the fingerprint test cannot perturb; extend the test", f.Name, fv.Kind())
+		}
+		if mut.Fingerprint() == baseFP {
+			t.Errorf("flipping %s did not change the fingerprint", f.Name)
+		}
+	}
+}
+
+// Fingerprints must be stable across calls and value copies.
+func TestFingerprintIsStable(t *testing.T) {
+	a := R2CFull()
+	b := a
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("copies of one config fingerprint differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint is not deterministic across calls")
+	}
+	if Off().Fingerprint() == a.Fingerprint() {
+		t.Error("distinct configs share a fingerprint")
+	}
+}

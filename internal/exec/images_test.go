@@ -1,0 +1,73 @@
+package exec_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"r2c/internal/defense"
+	"r2c/internal/exec"
+)
+
+func TestBuildImagesDeterministicAcrossWidths(t *testing.T) {
+	m := testModule(t)
+	cfg := defense.R2CFull()
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+
+	serial := exec.New(1, nil)
+	parallel := exec.New(8, nil)
+	a, err := serial.BuildImages(context.Background(), m, cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.BuildImages(context.Background(), m, cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		la, lb := a[i].LayoutSummary(), b[i].LayoutSummary()
+		if !reflect.DeepEqual(la, lb) {
+			t.Fatalf("variant %d: layout differs between -jobs 1 and -jobs 8", i)
+		}
+	}
+}
+
+func TestBuildImagesSharesCache(t *testing.T) {
+	m := testModule(t)
+	cfg := defense.R2CFull()
+	e := exec.New(4, nil)
+	imgs, err := e.BuildImages(context.Background(), m, cfg, []uint64{9, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imgs[0] != imgs[1] {
+		t.Error("identical seeds did not share one cached image")
+	}
+	if imgs[0] == imgs[2] {
+		t.Error("distinct seeds shared an image")
+	}
+	hits, misses, _ := e.Cache.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+}
+
+func TestBuildImagesCancelledContext(t *testing.T) {
+	m := testModule(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := exec.New(1, nil)
+	imgs, err := e.BuildImages(ctx, m, defense.Off(), []uint64{1, 2})
+	be, ok := exec.AsBatchError(err)
+	if !ok {
+		t.Fatalf("err = %v, want *BatchError", err)
+	}
+	if len(be.Failures) != 2 {
+		t.Fatalf("failures = %d, want 2", len(be.Failures))
+	}
+	for i, img := range imgs {
+		if img != nil {
+			t.Errorf("variant %d built despite cancelled context", i)
+		}
+	}
+}

@@ -198,25 +198,25 @@ func TestAVXArrayResolution(t *testing.T) {
 }
 
 func TestShufflingDiversifies(t *testing.T) {
-	a := link(t, defense.R2CFull(), 7)
-	b := link(t, defense.R2CFull(), 8)
-	if reflect.DeepEqual(a.FuncOrder, b.FuncOrder) {
+	a := link(t, defense.R2CFull(), 7).LayoutSummary()
+	b := link(t, defense.R2CFull(), 8).LayoutSummary()
+	if reflect.DeepEqual(a.FuncNames(true), b.FuncNames(true)) {
 		t.Error("function order identical across links")
 	}
-	if reflect.DeepEqual(a.DataOrder, b.DataOrder) {
+	if reflect.DeepEqual(a.GlobalNames(), b.GlobalNames()) {
 		t.Error("global order identical across links")
 	}
 	// Booby traps must be interspersed, not clumped at the end: at least
 	// one trap before the last regular function.
 	lastRegular := -1
 	firstTrap := -1
-	for i, name := range a.FuncOrder {
-		if a.Funcs[name].F.BoobyTrap {
+	for _, fs := range a.Funcs {
+		if fs.BoobyTrap {
 			if firstTrap == -1 {
-				firstTrap = i
+				firstTrap = fs.Order
 			}
 		} else {
-			lastRegular = i
+			lastRegular = fs.Order
 		}
 	}
 	if firstTrap == -1 || firstTrap > lastRegular {
@@ -225,17 +225,15 @@ func TestShufflingDiversifies(t *testing.T) {
 }
 
 func TestBaselineIsStableModuloASLR(t *testing.T) {
-	a := link(t, defense.Off(), 9)
-	b := link(t, defense.Off(), 10)
-	if !reflect.DeepEqual(a.FuncOrder, b.FuncOrder) {
+	a := link(t, defense.Off(), 9).LayoutSummary()
+	b := link(t, defense.Off(), 10).LayoutSummary()
+	if !reflect.DeepEqual(a.FuncNames(true), b.FuncNames(true)) {
 		t.Error("baseline function order changed across seeds (monoculture broken)")
 	}
 	// Relative offsets identical.
-	for name := range a.Funcs {
-		offA := a.Funcs[name].Start - a.TextBase
-		offB := b.Funcs[name].Start - b.TextBase
-		if offA != offB {
-			t.Errorf("%s: baseline offset differs (%#x vs %#x)", name, offA, offB)
+	for _, fs := range a.Funcs {
+		if other := b.FuncSpanByName(fs.Name); other == nil || other.Off != fs.Off {
+			t.Errorf("%s: baseline offset differs (%#x vs %+v)", fs.Name, fs.Off, other)
 		}
 	}
 	if a.TextBase == b.TextBase {
@@ -290,19 +288,11 @@ func TestDataSectionContents(t *testing.T) {
 	if _, ok := img.DataSyms[codegen.SymBTDPArrayPtr]; !ok {
 		t.Error("BTDP array pointer slot missing")
 	}
-	decoys, pads := 0, 0
-	for _, name := range img.DataOrder {
-		switch img.DataSyms[name].Kind {
-		case DataBTDPDecoy:
-			decoys++
-		case DataPad:
-			pads++
-		}
-	}
-	if decoys != img.Prog.Config.BTDPDataDecoys {
+	ls := img.LayoutSummary()
+	if decoys := ls.DataKindCount(DataBTDPDecoy); decoys != img.Prog.Config.BTDPDataDecoys {
 		t.Errorf("decoys = %d, want %d", decoys, img.Prog.Config.BTDPDataDecoys)
 	}
-	if pads == 0 {
+	if ls.DataKindCount(DataPad) == 0 {
 		t.Error("no inter-global padding emitted")
 	}
 	// Global initializers land at the right addresses.
