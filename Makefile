@@ -2,13 +2,23 @@
 # stdlib-only Go; no target needs the network.
 
 GO ?= go
+BIN := bin
 
-.PHONY: all build vet test test-race bench audit check clean
+.PHONY: all build vet test test-race bench bench-compare audit check clean
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# Harness binaries, built once so measured invocations never pay (or time)
+# the compiler. `go run` inside a benchmark target folds compile time into
+# the first measurement and defeats the build cache across labels.
+$(BIN)/r2cbench $(BIN)/r2cattack $(BIN)/r2caudit: force
+	$(GO) build -o $(BIN)/ ./cmd/r2cbench ./cmd/r2cattack ./cmd/r2caudit
+
+.PHONY: force
+force:
 
 vet:
 	$(GO) vet ./...
@@ -22,21 +32,31 @@ test:
 test-race:
 	$(GO) test -race -timeout 300s ./internal/telemetry/ ./internal/sim/ ./internal/exec/ ./internal/bench/
 
-# Go micro-benchmarks plus one real harness run per label, each emitting a
-# BENCH_<label>.json metrics snapshot (cache hit/miss counters, pool gauges,
-# cycle totals) for before/after comparison.
-bench:
+# Go micro-benchmarks plus one real harness run per label, each refreshing
+# the committed BENCH_<label>.json baseline (geomean overheads, cycle totals,
+# latency quantiles, provenance). Re-run after an intentional performance
+# change and commit the diff; `make bench-compare` judges a working tree
+# against the committed files.
+bench: $(BIN)/r2cbench $(BIN)/r2cattack
 	$(GO) test -bench=. -benchmem -count=1 -run=^$$ .
-	$(GO) run ./cmd/r2cbench -scale 8 -runs 1 -metrics-out BENCH_figure6.json figure6
-	$(GO) run ./cmd/r2cattack -trials 4 -metrics-out BENCH_table3.json table3
+	$(BIN)/r2cbench -scale 8 -runs 1 -baseline BENCH_figure6.json figure6
+	$(BIN)/r2cattack -trials 4 -baseline BENCH_table3.json table3
+
+# Regression gate: re-run each committed baseline's experiment at its
+# recorded parameters and fail on any deterministic drift or >2x latency
+# growth. COMPARE_FLAGS=-compare-warn turns timing failures into warnings
+# (what CI uses, since its machines differ from the baseline recorder's).
+bench-compare: $(BIN)/r2cbench $(BIN)/r2cattack
+	$(BIN)/r2cbench $(COMPARE_FLAGS) -compare BENCH_figure6.json
+	$(BIN)/r2cattack $(COMPARE_FLAGS) -compare BENCH_table3.json
 
 # Diversity-audit smoke: 8 re-diversified builds of the attack victim under
 # full R2C, emitted as the machine-readable JSON report. CI runs this to keep
 # the auditor's CLI path (module resolution → parallel builds → deterministic
 # fold → JSON) exercised end to end; the report lands in AUDIT_victim.json.
-audit:
-	$(GO) run ./cmd/r2caudit -config r2c -variants 8 -json victim > AUDIT_victim.json
-	$(GO) run ./cmd/r2caudit -config r2c -variants 8 victim
+audit: $(BIN)/r2caudit
+	$(BIN)/r2caudit -config r2c -variants 8 -json victim > AUDIT_victim.json
+	$(BIN)/r2caudit -config r2c -variants 8 victim
 
 # The tier-1 gate: what CI (.github/workflows/ci.yml) runs. The exec engine
 # and the telemetry package (ops HTTP server, span sinks, registry) are cheap
@@ -48,3 +68,4 @@ check: build vet test
 
 clean:
 	$(GO) clean ./...
+	rm -rf $(BIN)

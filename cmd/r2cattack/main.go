@@ -8,7 +8,8 @@
 // Usage:
 //
 //	r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome]
-//	          [-listen ADDR] [-forensics] <table3|prob|sidechannel|ablations|aocr|all>
+//	          [-listen ADDR] [-forensics] [-baseline FILE] [-compare FILE] [-compare-warn]
+//	          <table3|prob|sidechannel|ablations|aocr|all>
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 
 	"r2c/internal/attack"
@@ -24,6 +26,7 @@ import (
 	"r2c/internal/defense"
 	"r2c/internal/exec"
 	"r2c/internal/mvee"
+	"r2c/internal/perf"
 	"r2c/internal/telemetry"
 	"r2c/internal/vm"
 )
@@ -47,22 +50,50 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 0, "base delay before the first retry of a cell, doubling per attempt")
 	journalPath := flag.String("journal", "", "persist completed cell results to FILE (JSONL, keyed by build key + machine)")
 	resume := flag.Bool("resume", false, "replay cells already present in the journal instead of re-executing them")
-	faults := flag.String("faults", "", "fault-injection plan CELL[@ATTEMPT]:KIND,... with KIND one of build-fail, exec-fail, panic, stall (testing aid)")
+	faults := flag.String("faults", "", "fault-injection plan CELL[@ATTEMPT]:KIND,... with KIND one of build-fail, exec-fail, panic, stall, slow[=DURATION]; CELL may be * (testing aid)")
+	baselineOut := flag.String("baseline", "", "write the run's performance numbers as a baseline to FILE (BENCH_<experiment>.json)")
+	compare := flag.String("compare", "", "re-run the baseline in FILE (adopting its trials unless overridden) and exit nonzero on regression")
+	compareWarn := flag.Bool("compare-warn", false, "report -compare timing regressions without failing (CI warn-only mode)")
+	perfNoise := flag.Float64("perf-noise", 0, "-compare timing noise threshold in percent (0 = default 100)")
+	perfNoiseDet := flag.Float64("perf-noise-det", 0, "-compare deterministic drift threshold in percent (0 = default 1)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-forensics] <table3|prob|sidechannel|sidechannel-hardened|ablations|aocr|mvee|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-forensics] [-baseline FILE] [-compare FILE] [-compare-warn] <table3|prob|sidechannel|sidechannel-hardened|ablations|aocr|mvee|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+
+	// With -compare the experiment and its trial count default to what the
+	// baseline recorded; explicit flags and a positional argument win.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	var oldBase *perf.Baseline
+	if *compare != "" {
+		var err error
+		oldBase, err = perf.Load(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
+			os.Exit(1)
+		}
+		if v, ok := oldBase.Params["trials"]; ok && !setFlags["trials"] {
+			if n, err := strconv.Atoi(v); err == nil {
+				*trials = n
+			}
+		}
+	}
+	if flag.NArg() != 1 && !(flag.NArg() == 0 && oldBase != nil) {
 		flag.Usage()
 		os.Exit(2)
 	}
+	want := flag.Arg(0)
+	if want == "" && oldBase != nil {
+		want = oldBase.Label
+	}
 
-	names := []string{flag.Arg(0)}
-	if flag.Arg(0) == "all" {
+	names := []string{want}
+	if want == "all" {
 		names = allExperiments
-	} else if !known(flag.Arg(0)) {
-		fmt.Fprintf(os.Stderr, "r2cattack: unknown experiment %q\nknown experiments: all", flag.Arg(0))
+	} else if !known(want) {
+		fmt.Fprintf(os.Stderr, "r2cattack: unknown experiment %q\nknown experiments: all", want)
 		for _, n := range allExperiments {
 			fmt.Fprintf(os.Stderr, " %s", n)
 		}
@@ -70,11 +101,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	prov := perf.Collect()
 	sinks, err := telemetry.OpenSinksOpts(telemetry.SinkOptions{
 		MetricsOut:     *metricsOut,
 		TraceOut:       *traceOut,
 		TraceFormat:    *traceFormat,
-		EnsureRegistry: *listen != "",
+		EnsureRegistry: *listen != "" || *baselineOut != "" || *compare != "",
+		Meta:           prov.Meta(),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
@@ -169,6 +202,31 @@ func main() {
 			sinks.Close()
 			fmt.Fprintf(os.Stderr, "r2cattack %s: %v\n", n, err)
 			os.Exit(1)
+		}
+	}
+	if *baselineOut != "" || oldBase != nil {
+		snap := sinks.Obs.Reg().Snapshot()
+		params := map[string]string{"trials": strconv.Itoa(*trials)}
+		fresh := perf.FromSnapshot(want, snap, prov, params)
+		if *baselineOut != "" {
+			if err := fresh.Save(*baselineOut); err != nil {
+				fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
+				exitCode = 1
+			} else {
+				fmt.Printf("[baseline %q written to %s]\n", want, *baselineOut)
+			}
+		}
+		if oldBase != nil {
+			rep := perf.Judge(oldBase, fresh, perf.Thresholds{
+				DeterministicPct: *perfNoiseDet,
+				TimingPct:        *perfNoise,
+				TimingAdvisory:   *compareWarn,
+			})
+			rep.WriteTable(os.Stdout)
+			if rep.Failed() {
+				fmt.Fprintf(os.Stderr, "r2cattack: performance regressed vs %s\n", *compare)
+				exitCode = 1
+			}
 		}
 	}
 	fmt.Println(eng.Footer("r2cattack"))

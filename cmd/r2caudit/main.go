@@ -27,6 +27,7 @@ import (
 	"r2c/internal/audit"
 	"r2c/internal/defense"
 	"r2c/internal/exec"
+	"r2c/internal/perf"
 	"r2c/internal/telemetry"
 	"r2c/internal/tir"
 	"r2c/internal/workload"
@@ -87,7 +88,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := obs.Registry.WriteJSON(f); err != nil {
+		if err := obs.Registry.WriteJSONMeta(f, perf.Collect().Meta()); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

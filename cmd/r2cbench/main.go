@@ -9,8 +9,13 @@
 // Usage:
 //
 //	r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome]
-//	         [-listen ADDR] [-profile] [-cell-timeout D] [-cell-fuel N] [-retries N]
-//	         [-journal FILE] [-resume] [-faults PLAN] <experiment>
+//	         [-listen ADDR] [-profile] [-profile-format table|folded] [-cell-timeout D]
+//	         [-cell-fuel N] [-retries N] [-journal FILE] [-resume] [-faults PLAN]
+//	         [-baseline FILE] [-compare FILE] [-compare-warn] <experiment>
+//
+// -baseline records the run's performance numbers as a committed baseline
+// (BENCH_<label>.json); -compare re-runs a committed baseline's experiment
+// and exits nonzero if any metric regressed beyond the noise thresholds.
 package main
 
 import (
@@ -19,11 +24,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"r2c/internal/bench"
 	"r2c/internal/exec"
+	"r2c/internal/perf"
 	"r2c/internal/telemetry"
 )
 
@@ -66,15 +73,21 @@ func main() {
 	listen := flag.String("listen", "", "serve the live ops endpoint (/metrics, /healthz, /progress, /debug/pprof) on ADDR, e.g. :8642")
 	profile := flag.Bool("profile", false, "collect per-function simulated-cycle profiles and print the hot-function table")
 	top := flag.Int("top", 15, "rows in the -profile hot-function table")
+	profileFormat := flag.String("profile-format", "table", "-profile output: table (flat hot functions) or folded (flamegraph.pl/speedscope folded stacks)")
+	baselineOut := flag.String("baseline", "", "write the run's performance numbers as a baseline to FILE (BENCH_<experiment>.json)")
+	compare := flag.String("compare", "", "re-run the baseline in FILE (adopting its scale/runs unless overridden) and exit nonzero on regression")
+	compareWarn := flag.Bool("compare-warn", false, "report -compare timing regressions without failing (CI warn-only mode)")
+	perfNoise := flag.Float64("perf-noise", 0, "-compare timing noise threshold in percent (0 = default 100)")
+	perfNoiseDet := flag.Float64("perf-noise-det", 0, "-compare deterministic drift threshold in percent (0 = default 1)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog deadline (0 = none); hung cells fail instead of hanging the sweep")
 	cellFuel := flag.Uint64("cell-fuel", 0, "per-cell VM instruction allowance (0 = the default budget); runaway cells fail instead of hanging")
 	retries := flag.Int("retries", 0, "re-attempts per failed cell, each with a seed derived from the cell's content key")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base delay before the first retry of a cell, doubling per attempt")
 	journalPath := flag.String("journal", "", "persist completed cell results to FILE (JSONL, keyed by build key + machine)")
 	resume := flag.Bool("resume", false, "replay cells already present in the journal instead of re-executing them (implies -journal "+defaultJournal+" unless set)")
-	faults := flag.String("faults", "", "fault-injection plan CELL[@ATTEMPT]:KIND,... with KIND one of build-fail, exec-fail, panic, stall (testing aid)")
+	faults := flag.String("faults", "", "fault-injection plan CELL[@ATTEMPT]:KIND,... with KIND one of build-fail, exec-fail, panic, stall, slow[=DURATION]; CELL may be * (testing aid)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-profile] [-cell-timeout D] [-cell-fuel N] [-retries N] [-journal FILE] [-resume] [-faults PLAN] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-profile] [-profile-format table|folded] [-cell-timeout D] [-cell-fuel N] [-retries N] [-journal FILE] [-resume] [-faults PLAN] [-baseline FILE] [-compare FILE] [-compare-warn] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments:")
 		for _, n := range knownExperiments() {
 			fmt.Fprintf(os.Stderr, " %s", n)
@@ -83,7 +96,38 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *profileFormat != "table" && *profileFormat != "folded" {
+		fmt.Fprintf(os.Stderr, "r2cbench: unknown -profile-format %q (want table or folded)\n", *profileFormat)
+		os.Exit(2)
+	}
+
+	// With -compare the experiment and its parameters default to what the
+	// baseline recorded, so `r2cbench -compare BENCH_figure6.json` alone
+	// re-runs the baseline's exact configuration. Explicit flags win.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	var oldBase *perf.Baseline
+	if *compare != "" {
+		var err error
+		oldBase, err = perf.Load(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
+			os.Exit(1)
+		}
+		adoptInt := func(name string, dst *int) {
+			if setFlags[name] {
+				return
+			}
+			if v, ok := oldBase.Params[name]; ok {
+				if n, err := strconv.Atoi(v); err == nil {
+					*dst = n
+				}
+			}
+		}
+		adoptInt("scale", scale)
+		adoptInt("runs", runs)
+	}
+	if flag.NArg() != 1 && !(flag.NArg() == 0 && oldBase != nil) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -91,6 +135,9 @@ func main() {
 	// Validate the experiment name before doing any work, so a typo fails
 	// fast instead of after minutes of earlier experiments.
 	want := flag.Arg(0)
+	if want == "" && oldBase != nil {
+		want = oldBase.Label
+	}
 	var selected []struct {
 		name string
 		run  func(bench.Options) error
@@ -119,14 +166,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	prov := perf.Collect()
 	sinks, err := telemetry.OpenSinksOpts(telemetry.SinkOptions{
 		MetricsOut:  *metricsOut,
 		TraceOut:    *traceOut,
 		TraceFormat: *traceFormat,
 		Profile:     *profile,
-		// The ops endpoint serves /metrics from the registry, so force one
-		// even when no file sink was requested.
-		EnsureRegistry: *listen != "",
+		// The ops endpoint serves /metrics from the registry, and baseline
+		// recording/comparison harvests one, so force a registry even when
+		// no file sink was requested.
+		EnsureRegistry: *listen != "" || *baselineOut != "" || *compare != "",
+		Meta:           prov.Meta(),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
@@ -199,7 +249,36 @@ func main() {
 		fmt.Printf("[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
 	if *profile {
-		sinks.WriteHotFunctions(os.Stdout, *top)
+		if *profileFormat == "folded" {
+			sinks.WriteFolded(os.Stdout)
+		} else {
+			sinks.WriteHotFunctions(os.Stdout, *top)
+		}
+	}
+	if *baselineOut != "" || oldBase != nil {
+		snap := sinks.Obs.Reg().Snapshot()
+		params := map[string]string{"scale": strconv.Itoa(*scale), "runs": strconv.Itoa(*runs)}
+		fresh := perf.FromSnapshot(want, snap, prov, params)
+		if *baselineOut != "" {
+			if err := fresh.Save(*baselineOut); err != nil {
+				fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
+				exitCode = 1
+			} else {
+				fmt.Printf("[baseline %q written to %s]\n", want, *baselineOut)
+			}
+		}
+		if oldBase != nil {
+			rep := perf.Judge(oldBase, fresh, perf.Thresholds{
+				DeterministicPct: *perfNoiseDet,
+				TimingPct:        *perfNoise,
+				TimingAdvisory:   *compareWarn,
+			})
+			rep.WriteTable(os.Stdout)
+			if rep.Failed() {
+				fmt.Fprintf(os.Stderr, "r2cbench: performance regressed vs %s\n", *compare)
+				exitCode = 1
+			}
+		}
 	}
 	fmt.Println(eng.Footer("r2cbench"))
 	// Shut the ops server down before the sinks so no scrape can race the

@@ -21,6 +21,7 @@ import (
 
 	"r2c/internal/attack"
 	"r2c/internal/defense"
+	"r2c/internal/perf"
 	"r2c/internal/sim"
 	"r2c/internal/telemetry"
 	"r2c/internal/tir"
@@ -146,6 +147,7 @@ func main() {
 			TraceOut:    *traceOut,
 			TraceFormat: *traceFormat,
 			Profile:     *profile,
+			Meta:        perf.Collect().Meta(),
 		})
 		if err != nil {
 			fatal(err)

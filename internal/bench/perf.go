@@ -303,9 +303,23 @@ func Table1(opt Options) ([]Table1Row, error) {
 		_, max := ov.Max()
 		r := Table1Row{Name: label[ov.Config], Max: max, Geomean: ov.Geomean()}
 		rows = append(rows, r)
+		publishHeadline(opt.Obs, "bench.table1.geomean_pct", stats.Pct(r.Geomean), "component", r.Name)
+		publishHeadline(opt.Obs, "bench.table1.max_pct", stats.Pct(r.Max), "component", r.Name)
 		opt.printf("%-8s %6s %9s\n", r.Name, fmtRatio("%.2f", r.Max), fmtRatio("%.2f", r.Geomean))
 	}
 	return rows, err
+}
+
+// publishHeadline records one deterministic experiment headline (a geomean
+// overhead, a scaled call count) as a gauge, the series the perf baselines
+// harvest. NaN — a partially-failed sweep's "n/a" — is skipped rather than
+// published: a baseline should either carry a real number or omit the
+// metric so a later -compare reports it as missing.
+func publishHeadline(obs *telemetry.Observer, name string, v float64, labels ...string) {
+	if math.IsNaN(v) {
+		return
+	}
+	obs.Gauge(name, labels...).Set(v)
 }
 
 // Table2Row is one row of Table 2.
@@ -372,6 +386,7 @@ func Table2(opt Options) ([]Table2Row, error) {
 			Paper:     b.PaperCalls,
 		}
 		rows = append(rows, row)
+		publishHeadline(opt.Obs, "bench.table2.calls", float64(row.Measured), "benchmark", row.Benchmark)
 		opt.printf("%-10s %15d %18d %18d\n", row.Benchmark, row.Measured, row.Scaled, row.Paper)
 	}
 	return rows, err
@@ -412,6 +427,10 @@ func Figure6(opt Options) ([]Figure6Series, error) {
 			s.ByBench[n] = stats.Pct(ovs[0].ByBench[n])
 		}
 		s.Geomean = stats.Pct(ovs[0].Geomean())
+		publishHeadline(opt.Obs, "bench.figure6.geomean_pct", s.Geomean, "machine", s.Machine)
+		for n, pct := range s.ByBench {
+			publishHeadline(opt.Obs, "bench.figure6.overhead_pct", pct, "machine", s.Machine, "benchmark", n)
+		}
 		out = append(out, s)
 	}
 	opt.printf("Figure 6: full R2C performance impact (%%)\n%-10s", "benchmark")
@@ -455,6 +474,8 @@ func OIA(opt Options) (*OIAResult, error) {
 		MaxPct:     stats.Pct(max),
 		MaxBench:   name,
 	}
+	publishHeadline(opt.Obs, "bench.oia.geomean_pct", r.GeomeanPct)
+	publishHeadline(opt.Obs, "bench.oia.max_pct", r.MaxPct)
 	opt.printf("Offset-invariant addressing alone: geomean %.2f%%, max %.2f%% (%s)\n",
 		r.GeomeanPct, r.MaxPct, r.MaxBench)
 	return r, nil
@@ -485,6 +506,9 @@ func AVX512(opt Options) (*AVX512Result, error) {
 		AVX512GeomeanPct:    stats.Pct(ovs[1].Geomean()),
 		AVX512x20GeomeanPct: stats.Pct(ovs[2].Geomean()),
 	}
+	publishHeadline(opt.Obs, "bench.avx512.geomean_pct", r.AVX2GeomeanPct, "setup", "avx2-10")
+	publishHeadline(opt.Obs, "bench.avx512.geomean_pct", r.AVX512GeomeanPct, "setup", "avx512-10")
+	publishHeadline(opt.Obs, "bench.avx512.geomean_pct", r.AVX512x20GeomeanPct, "setup", "avx512-20")
 	opt.printf("AVX2 10 BTRAs: %.2f%%  AVX-512 10 BTRAs: %.2f%%  AVX-512 20 BTRAs: %.2f%%\n",
 		r.AVX2GeomeanPct, r.AVX512GeomeanPct, r.AVX512x20GeomeanPct)
 	return r, nil

@@ -150,6 +150,7 @@ func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
 		row.PIROP = verdictOf(row.Tallies["pirop"])
 		row.AOCR = verdictOf(row.Tallies["aocr"])
 		row.DetectionRate = float64(detections) / float64(total)
+		publishHeadline(opt.Obs, "bench.table3.detection_rate", row.DetectionRate, "defense", row.Defense)
 		rows = append(rows, row)
 	}
 

@@ -12,6 +12,7 @@ package exec
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"r2c/internal/defense"
 	"r2c/internal/image"
@@ -132,6 +133,7 @@ func (c *Cache) ImageSpan(m *tir.Module, cfg defense.Config, seed uint64, parent
 		return img, false, err
 	}
 	ls := parent.Child("cache-lookup", seed)
+	lookupStart := time.Now()
 	key := KeyFor(m, cfg, seed)
 
 	c.mu.Lock()
@@ -142,6 +144,10 @@ func (c *Cache) ImageSpan(m *tir.Module, cfg defense.Config, seed uint64, parent
 		c.Obs.Gauge("exec.cache.entries").Set(float64(len(c.entries)))
 	}
 	c.mu.Unlock()
+	// Lookup latency covers key computation (the module content hash on
+	// first sight) plus the map critical section — the part every cell
+	// pays whether it hits or misses.
+	c.Obs.LogHist("exec.cache.lookup.seconds", telemetry.LatencyScheme).Observe(time.Since(lookupStart).Seconds())
 	ls.SetAttr("hit", ok)
 	ls.End()
 

@@ -201,9 +201,12 @@ func (e *Engine) RunCells(ctx context.Context, cells []Cell) ([]*vm.Result, erro
 	e.prog.addBatch(len(cells))
 	submitted := time.Now()
 	timer := e.Obs.Timer("exec.cell")
+	latency := e.Obs.LogHist("exec.cell.seconds", telemetry.LatencyScheme)
 	errs := e.Pool.MapErrs(ctx, len(cells), func(i, w int) error {
 		stop := timer.Time()
 		defer stop()
+		cellStart := time.Now()
+		defer func() { latency.Observe(time.Since(cellStart).Seconds()) }()
 		c := &cells[i]
 		handle, track := e.prog.begin(i, w)
 		defer e.prog.end(handle)
@@ -243,6 +246,17 @@ func (e *Engine) RunCells(ctx context.Context, cells []Cell) ([]*vm.Result, erro
 			e.Obs.Counter("exec.cell.panics").Inc()
 		case errors.As(err, &te):
 			e.Obs.Counter("exec.cell.timeouts").Inc()
+		}
+	}
+	// The modeled-cycle distribution is observed here, in the ordered merge
+	// loop, not on the workers: bucket counts would be order-independent
+	// either way, but the float sum accumulates in fold order, and folding
+	// in submission order is what keeps the histogram — and every baseline
+	// derived from it — byte-identical between -jobs 1 and -jobs 8.
+	cyc := e.Obs.LogHist("exec.run.cycles", telemetry.CycleScheme)
+	for _, res := range results {
+		if res != nil {
+			cyc.Observe(res.Cycles)
 		}
 	}
 	merge := batch.Child("merge", 0)
@@ -365,6 +379,22 @@ func (e *Engine) runCellAttempt(ctx context.Context, i, attempt int, c *Cell, ke
 			return nil, &CellTimeoutError{Index: i, Timeout: e.CellTimeout, Err: actx.Err()}
 		}
 		return nil, ctx.Err()
+	case FaultSlow:
+		// A slowdown, not a failure: sleep, then run the cell normally.
+		// The sleep lands inside the cell's wall-clock window, so the
+		// latency histograms (and any -compare against a clean baseline)
+		// see it, while every modeled number stays untouched.
+		track("slowed")
+		t := time.NewTimer(e.Faults.Delay(i, attempt))
+		select {
+		case <-actx.Done():
+			t.Stop()
+			if actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+				return nil, &CellTimeoutError{Index: i, Timeout: e.CellTimeout, Err: actx.Err()}
+			}
+			return nil, ctx.Err()
+		case <-t.C:
+		}
 	}
 	res, err := e.runCell(actx, c, seed, sp, track)
 	if err != nil {
@@ -388,22 +418,34 @@ func (e *Engine) runCellAttempt(ctx context.Context, i, attempt int, c *Cell, ke
 // identical to Run when neither watchdog fires — the span and track
 // arguments only observe.
 func (e *Engine) runCell(ctx context.Context, c *Cell, seed uint64, sp *telemetry.Span, track func(phase string)) (*vm.Result, error) {
+	imgStart := time.Now()
 	img, hit, err := e.Cache.ImageSpan(c.Module, c.Cfg, seed, sp, track)
 	if err != nil {
 		return nil, err
 	}
+	// Phase latency histograms: a miss pays the build, a hit pays only the
+	// (possibly blocking, under single-flight) cache load — the
+	// build-vs-cached-load split that makes the cache's latency economy
+	// visible in /metrics and the perf baselines.
 	if hit {
 		sp.SetAttr("cache", "hit")
+		e.Obs.LogHist("exec.phase.seconds", telemetry.LatencyScheme, "phase", "cached-load").Observe(time.Since(imgStart).Seconds())
 	} else {
 		sp.SetAttr("cache", "miss")
+		e.Obs.LogHist("exec.phase.seconds", telemetry.LatencyScheme, "phase", "build").Observe(time.Since(imgStart).Seconds())
 	}
 	track("load")
 	ls := sp.Child("load", 0)
+	loadStart := time.Now()
 	proc, err := sim.NewProcessFromImage(img, seed, e.Obs)
+	e.Obs.LogHist("exec.phase.seconds", telemetry.LatencyScheme, "phase", "load").Observe(time.Since(loadStart).Seconds())
 	ls.End()
 	if err != nil {
 		return nil, err
 	}
 	track("execute")
-	return sim.ExecProcessSpanCtx(ctx, proc, c.Prof, e.Obs, sp, e.CellFuel)
+	execStart := time.Now()
+	res, err := sim.ExecProcessSpanCtx(ctx, proc, c.Prof, e.Obs, sp, e.CellFuel)
+	e.Obs.LogHist("exec.phase.seconds", telemetry.LatencyScheme, "phase", "exec").Observe(time.Since(execStart).Seconds())
+	return res, err
 }

@@ -1,0 +1,89 @@
+package exec_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"r2c/internal/exec"
+	"r2c/internal/telemetry"
+)
+
+func TestParseFaultPlanSlow(t *testing.T) {
+	p, err := exec.ParseFaultPlan("2:slow, *:slow=50ms, 4@1:slow=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		cell, attempt int
+		want          time.Duration
+	}{
+		{2, 0, exec.DefaultSlowDelay}, // bare slow: default delay
+		{2, 3, exec.DefaultSlowDelay},
+		{4, 1, 10 * time.Millisecond}, // exact (cell, attempt) wins
+		{4, 0, 50 * time.Millisecond}, // falls through to the wildcard
+		{9, 2, 50 * time.Millisecond}, // wildcard covers every other cell
+	} {
+		if got := p.At(tc.cell, tc.attempt); got != exec.FaultSlow {
+			t.Errorf("At(%d, %d) = %v, want slow", tc.cell, tc.attempt, got)
+		}
+		if got := p.Delay(tc.cell, tc.attempt); got != tc.want {
+			t.Errorf("Delay(%d, %d) = %v, want %v", tc.cell, tc.attempt, got, tc.want)
+		}
+	}
+	// Delay is zero for non-slow faults and nil plans.
+	p2, err := exec.ParseFaultPlan("1:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p2.Delay(1, 0); d != 0 {
+		t.Errorf("Delay of a panic fault = %v, want 0", d)
+	}
+	var nilPlan *exec.FaultPlan
+	if d := nilPlan.Delay(0, 0); d != 0 {
+		t.Errorf("nil plan Delay = %v, want 0", d)
+	}
+
+	for _, bad := range []string{"3:slow=0s", "3:slow=-5ms", "3:slow=x", "3:build-fail=50ms", "*:"} {
+		if _, err := exec.ParseFaultPlan(bad); err == nil {
+			t.Errorf("spec %q parsed successfully", bad)
+		}
+	}
+}
+
+// TestSlowFaultDelaysWithoutFailing pins the property the regression gate's
+// end-to-end check relies on: an injected slowdown stretches wall time (the
+// latency histograms see it) but leaves results and modeled numbers exactly
+// as a clean run produces them.
+func TestSlowFaultDelaysWithoutFailing(t *testing.T) {
+	m := testModule(t)
+	n := 3
+
+	clean := exec.New(1, nil)
+	want, err := clean.RunCells(context.Background(), cellsN(m, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs := &telemetry.Observer{Registry: telemetry.NewRegistry()}
+	eng := exec.New(1, obs)
+	eng.Faults = new(exec.FaultPlan).SetSlowAll(5 * time.Millisecond)
+	start := time.Now()
+	got, err := eng.RunCells(context.Background(), cellsN(m, n))
+	if err != nil {
+		t.Fatalf("slowed run failed: %v", err)
+	}
+	minDelay := time.Duration(n) * 5 * time.Millisecond
+	if elapsed := time.Since(start); elapsed < minDelay {
+		t.Errorf("run took %v, want >= %v of injected delay", elapsed, minDelay)
+	}
+	for i := range want {
+		if got[i] == nil || got[i].Cycles != want[i].Cycles || got[i].Instructions != want[i].Instructions {
+			t.Errorf("cell %d: slowed result differs from clean run", i)
+		}
+	}
+	snap := obs.Registry.Snapshot()
+	if h, ok := snap.Histograms["exec.cell.seconds"]; !ok || h.Count != uint64(n) {
+		t.Errorf("exec.cell.seconds histogram missing or short: %+v", snap.Histograms["exec.cell.seconds"])
+	}
+}

@@ -1,0 +1,263 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"r2c/internal/telemetry"
+)
+
+func sampleSnapshot() *telemetry.Snapshot {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("bench.figure6.geomean_pct", "machine", "epyc").Set(7.6)
+	reg.Gauge("bench.table3.detection_rate", "defense", "r2c-full").Set(0.69)
+	reg.Gauge("bench.table2.calls", "benchmark", "gcc").Set(41234)
+	reg.Counter("vm.instructions").Add(123456)
+	cyc := reg.LogHist("exec.run.cycles", telemetry.CycleScheme)
+	cyc.Observe(2e6)
+	cyc.Observe(3e6)
+	lat := reg.LogHist("exec.cell.seconds", telemetry.LatencyScheme)
+	lat.Observe(0.01)
+	lat.Observe(0.03)
+	lat.Observe(0.5)
+	snap := reg.Snapshot()
+	return snap
+}
+
+func TestFromSnapshotHarvest(t *testing.T) {
+	b := FromSnapshot("figure6", sampleSnapshot(), Collect(), map[string]string{"scale": "8"})
+	cases := []struct {
+		key, class, better string
+	}{
+		{"bench.figure6.geomean_pct{machine=epyc}", ClassDeterministic, BetterLower},
+		{"bench.table3.detection_rate{defense=r2c-full}", ClassDeterministic, BetterHigher},
+		{"bench.table2.calls{benchmark=gcc}", ClassDeterministic, BetterExact},
+		{"vm.instructions", ClassDeterministic, BetterLower},
+		{"exec.run.cycles.count", ClassDeterministic, BetterExact},
+		{"exec.run.cycles.sum", ClassDeterministic, BetterLower},
+	}
+	for _, tc := range cases {
+		m, ok := b.Metrics[tc.key]
+		if !ok {
+			t.Errorf("metric %q not harvested; have %v", tc.key, b.MetricKeys())
+			continue
+		}
+		if m.Class != tc.class || m.Better != tc.better {
+			t.Errorf("metric %q = %s/%s, want %s/%s", tc.key, m.Class, m.Better, tc.class, tc.better)
+		}
+	}
+	ph, ok := b.Phases["exec.cell.seconds"]
+	if !ok {
+		t.Fatalf("phase exec.cell.seconds not harvested; have %v", b.PhaseKeys())
+	}
+	if ph.Count != 3 || ph.P50 <= 0 || ph.P99 < ph.P50 {
+		t.Errorf("phase summary implausible: %+v", ph)
+	}
+	// The latency histogram must NOT appear among deterministic metrics.
+	for k, m := range b.Metrics {
+		if strings.Contains(k, "exec.cell.seconds") && m.Class == ClassDeterministic {
+			t.Errorf("wall-clock metric %q classified deterministic", k)
+		}
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	b := FromSnapshot("figure6", sampleSnapshot(), Collect(), map[string]string{"scale": "8", "runs": "1"})
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "figure6" || got.Schema != SchemaVersion || got.Params["scale"] != "8" {
+		t.Errorf("roundtrip lost fields: %+v", got)
+	}
+	if len(got.Metrics) != len(b.Metrics) || len(got.Phases) != len(b.Phases) {
+		t.Errorf("roundtrip lost entries: %d/%d metrics, %d/%d phases",
+			len(got.Metrics), len(b.Metrics), len(got.Phases), len(b.Phases))
+	}
+
+	// Saving the identical baseline again must be byte-identical (no git
+	// churn from map iteration order).
+	path2 := filepath.Join(dir, "BENCH_test2.json")
+	if err := b.Save(path2); err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := os.ReadFile(path)
+	d2, _ := os.ReadFile(path2)
+	if !bytes.Equal(d1, d2) {
+		t.Errorf("re-saved baseline differs byte-wise")
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := Load(write("wrong-schema.json", `{"schema": 99, "label": "x", "metrics": {}}`)); err == nil {
+		t.Errorf("Load accepted wrong schema version")
+	}
+	if _, err := Load(write("no-label.json", `{"schema": 1, "metrics": {}}`)); err == nil {
+		t.Errorf("Load accepted unlabeled baseline")
+	}
+	if _, err := Load(write("garbage.json", `{{{`)); err == nil {
+		t.Errorf("Load accepted malformed JSON")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Errorf("Load accepted a missing file")
+	}
+}
+
+func baselineWith(metrics map[string]Metric, phases map[string]Phase) *Baseline {
+	return &Baseline{Schema: SchemaVersion, Label: "t", Provenance: Collect(), Metrics: metrics, Phases: phases}
+}
+
+func TestJudgeVerdicts(t *testing.T) {
+	old := baselineWith(map[string]Metric{
+		"det.stable":    {Value: 100, Class: ClassDeterministic, Better: BetterLower},
+		"det.regressed": {Value: 100, Class: ClassDeterministic, Better: BetterLower},
+		"det.improved":  {Value: 100, Class: ClassDeterministic, Better: BetterLower},
+		"det.higher":    {Value: 0.5, Class: ClassDeterministic, Better: BetterHigher},
+		"det.exact":     {Value: 42, Class: ClassDeterministic, Better: BetterExact},
+		"det.gone":      {Value: 7, Class: ClassDeterministic, Better: BetterLower},
+	}, map[string]Phase{
+		"exec.cell.seconds": {Count: 10, P50: 0.010, P90: 0.020, P99: 0.050},
+	})
+	fresh := baselineWith(map[string]Metric{
+		"det.stable":    {Value: 100.5, Class: ClassDeterministic, Better: BetterLower},
+		"det.regressed": {Value: 150, Class: ClassDeterministic, Better: BetterLower},
+		"det.improved":  {Value: 50, Class: ClassDeterministic, Better: BetterLower},
+		"det.higher":    {Value: 0.1, Class: ClassDeterministic, Better: BetterHigher},
+		"det.exact":     {Value: 43, Class: ClassDeterministic, Better: BetterExact},
+		"det.new":       {Value: 1, Class: ClassDeterministic, Better: BetterLower},
+	}, map[string]Phase{
+		// p50 regressed 5x (beyond the 2x default), p90/p99 stable.
+		"exec.cell.seconds": {Count: 10, P50: 0.050, P90: 0.021, P99: 0.049},
+	})
+
+	rep := Judge(old, fresh, DefaultThresholds())
+	want := map[string]Verdict{
+		"det.stable":            VerdictOK, // 0.5% < the 1% epsilon
+		"det.regressed":         VerdictRegressed,
+		"det.improved":          VerdictImproved,
+		"det.higher":            VerdictRegressed, // higher-is-better dropped
+		"det.exact":             VerdictMismatch,
+		"det.gone":              VerdictMissing,
+		"det.new":               VerdictAdded,
+		"exec.cell.seconds.p50": VerdictRegressed,
+		"exec.cell.seconds.p90": VerdictOK,
+		"exec.cell.seconds.p99": VerdictOK,
+	}
+	got := map[string]Verdict{}
+	for _, d := range rep.Deltas {
+		got[d.Name] = d.Verdict
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s: verdict %q, want %q", name, got[name], v)
+		}
+	}
+	if !rep.Failed() {
+		t.Errorf("report with regressions did not fail")
+	}
+
+	// Warn-only mode: timing rows stop gating, deterministic rows still do.
+	warn := Judge(old, fresh, Thresholds{TimingAdvisory: true})
+	if !warn.Failed() {
+		t.Errorf("warn-only report must still fail on deterministic regressions")
+	}
+	detOnly := baselineWith(map[string]Metric{}, old.Phases)
+	freshDetOnly := baselineWith(map[string]Metric{}, fresh.Phases)
+	if Judge(detOnly, freshDetOnly, Thresholds{TimingAdvisory: true}).Failed() {
+		t.Errorf("warn-only report failed on timing-only regressions")
+	}
+
+	// Identical baselines: everything ok, nothing fails.
+	clean := Judge(old, old, DefaultThresholds())
+	if clean.Failed() {
+		t.Errorf("self-comparison failed: %+v", clean.Deltas)
+	}
+	for _, d := range clean.Deltas {
+		if d.Verdict != VerdictOK {
+			t.Errorf("self-comparison %s = %q", d.Name, d.Verdict)
+		}
+	}
+}
+
+func TestJudgeEnvMismatchForcesAdvisory(t *testing.T) {
+	old := baselineWith(map[string]Metric{}, map[string]Phase{
+		"exec.cell.seconds": {Count: 10, P50: 0.010, P90: 0.020, P99: 0.050},
+	})
+	fresh := baselineWith(map[string]Metric{}, map[string]Phase{
+		"exec.cell.seconds": {Count: 10, P50: 0.500, P90: 0.800, P99: 0.900},
+	})
+	fresh.Provenance.NumCPU = old.Provenance.NumCPU + 64
+	rep := Judge(old, fresh, DefaultThresholds())
+	if len(rep.EnvMismatch) == 0 || !rep.TimingAdvisory {
+		t.Fatalf("env mismatch not detected: %+v", rep)
+	}
+	if rep.Failed() {
+		t.Errorf("cross-environment timing regression gated; must be advisory")
+	}
+	var buf bytes.Buffer
+	rep.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "advisory") {
+		t.Errorf("table does not mark advisory rows:\n%s", buf.String())
+	}
+}
+
+func TestDeterministicJSONExcludesTimingAndNaN(t *testing.T) {
+	b := baselineWith(map[string]Metric{
+		"det.a":    {Value: 1, Class: ClassDeterministic, Better: BetterLower},
+		"det.nan":  {Value: math.NaN(), Class: ClassDeterministic, Better: BetterLower},
+		"timing.b": {Value: 2, Class: ClassTiming, Better: BetterLower},
+	}, map[string]Phase{"exec.cell.seconds": {Count: 1, P50: 0.5}})
+	data, err := b.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "det.a") {
+		t.Errorf("deterministic metric missing:\n%s", s)
+	}
+	for _, banned := range []string{"timing.b", "det.nan", "exec.cell.seconds", "provenance", "go_version"} {
+		if strings.Contains(s, banned) {
+			t.Errorf("DeterministicJSON leaked %q:\n%s", banned, s)
+		}
+	}
+}
+
+func TestProvenance(t *testing.T) {
+	p := Collect()
+	if p.GoVersion == "" || p.GOOS == "" || p.GOARCH == "" || p.NumCPU <= 0 {
+		t.Errorf("Collect() incomplete: %+v", p)
+	}
+	m := p.Meta()
+	for _, k := range []string{"go_version", "goos", "goarch", "num_cpu"} {
+		if m[k] == "" {
+			t.Errorf("Meta() missing %q: %v", k, m)
+		}
+	}
+	if diff := p.EnvDiff(p); len(diff) != 0 {
+		t.Errorf("EnvDiff(self) = %v", diff)
+	}
+	o := p
+	o.GOARCH = "riscv64"
+	o.GitDescribe = p.GitDescribe + "-other"
+	diff := p.EnvDiff(o)
+	if len(diff) != 1 || !strings.Contains(diff[0], "goarch") {
+		t.Errorf("EnvDiff = %v, want only the goarch difference (git describe excluded)", diff)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // This file holds the flag-level plumbing shared by the cmd/ binaries: every
@@ -37,6 +38,9 @@ type SinkOptions struct {
 	// file sink was requested — the ops endpoint needs one to serve
 	// /metrics from.
 	EnsureRegistry bool
+	// Meta is the provenance header stamped into the -metrics-out snapshot
+	// (go version, GOOS/GOARCH, CPU count, git describe); nil omits it.
+	Meta map[string]string
 }
 
 // Sinks owns the file sinks behind the standard telemetry flags. A Sinks
@@ -48,6 +52,7 @@ type Sinks struct {
 	Obs *Observer
 
 	metrics *os.File
+	meta    map[string]string
 	trace   *os.File
 	chrome  *ChromeTracer
 }
@@ -79,6 +84,7 @@ func OpenSinksOpts(o SinkOptions) (*Sinks, error) {
 			return nil, fmt.Errorf("telemetry: open metrics sink: %w", err)
 		}
 		s.metrics = f
+		s.meta = o.Meta
 	}
 	if o.TraceOut != "" {
 		f, err := os.Create(o.TraceOut)
@@ -109,7 +115,7 @@ func (s *Sinks) Close() error {
 	var errs []error
 	if s.metrics != nil {
 		if s.Obs != nil {
-			if err := s.Obs.Registry.WriteJSON(s.metrics); err != nil {
+			if err := s.Obs.Registry.WriteJSONMeta(s.metrics, s.meta); err != nil {
 				errs = append(errs, fmt.Errorf("telemetry: write metrics snapshot: %w", err))
 			}
 		}
@@ -162,5 +168,32 @@ func (s *Sinks) WriteHotFunctions(w io.Writer, n int) {
 			pct = kv.Value / total * 100
 		}
 		fmt.Fprintf(w, "%4d %-24s %14.0f %6.1f%% %14d %10d\n", i+1, fn, kv.Value, pct, cum, calls)
+	}
+}
+
+// WriteFolded renders the folded-stack cycle profile accumulated in the
+// registry by the -profile runs: one "frame;frame;frame cycles" line per
+// distinct call path, aggregated across every profiled run — the input
+// flamegraph.pl and speedscope consume directly.
+func (s *Sinks) WriteFolded(w io.Writer) {
+	if s.Obs == nil || s.Obs.Registry == nil {
+		return
+	}
+	snap := s.Obs.Registry.Snapshot()
+	totals := map[string]uint64{}
+	paths := make([]string, 0, len(snap.Counters))
+	for k, v := range snap.Counters {
+		base, labels := ParseKey(k)
+		if base != "vm.stack.self_cycles" || labels["stack"] == "" {
+			continue
+		}
+		if _, seen := totals[labels["stack"]]; !seen {
+			paths = append(paths, labels["stack"])
+		}
+		totals[labels["stack"]] += v
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(w, "%s %d\n", p, totals[p])
 	}
 }

@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// This file is the latency-distribution half of the registry: a
+// log-bucketed histogram whose bucket boundaries are a deterministic
+// function of a small scheme (min bound, growth factor, bucket count), so
+// two processes — or two PRs — that observe the same values produce
+// byte-identical snapshots that merge without loss. Fixed-boundary
+// histograms are what make committed perf baselines comparable: a BENCH
+// file written last month and a fresh run today bucket the same latencies
+// into the same bins, and quantile estimates diff meaningfully.
+
+// LogScheme parameterizes a log-bucketed histogram: Buckets upper bounds
+// starting at Min and growing geometrically by Growth. The scheme — not the
+// data — fixes the boundaries, so histograms from different runs, machines
+// or PRs are mergeable bin-for-bin.
+type LogScheme struct {
+	// Min is the first (smallest) inclusive upper bound.
+	Min float64
+	// Growth is the geometric ratio between consecutive bounds (> 1).
+	Growth float64
+	// Buckets is the number of finite bounds; observations above the last
+	// bound land in the implicit overflow bucket.
+	Buckets int
+}
+
+// LatencyScheme is the default scheme for wall-clock latencies in seconds:
+// 10µs to ~10min in quarter-decade steps, fine enough that a 2x regression
+// moves mass several buckets.
+var LatencyScheme = LogScheme{Min: 10e-6, Growth: 1.7782794100389228, Buckets: 28} // 10^(1/4) growth
+
+// CycleScheme is the default scheme for modeled per-run cycle counts: 1k to
+// ~10^12 cycles in quarter-decade steps.
+var CycleScheme = LogScheme{Min: 1e3, Growth: 1.7782794100389228, Buckets: 36}
+
+// Bounds materializes the scheme's ascending inclusive upper bounds. Bounds
+// are computed by repeated multiplication from Min, which is deterministic
+// for a given scheme on every platform (IEEE-754 multiplication is exact-ly
+// specified, unlike a per-bucket math.Pow that libm could round differently).
+func (s LogScheme) Bounds() []float64 {
+	n := s.Buckets
+	if n <= 0 {
+		return nil
+	}
+	b := make([]float64, n)
+	v := s.Min
+	for i := 0; i < n; i++ {
+		b[i] = v
+		v *= s.Growth
+	}
+	return b
+}
+
+// Valid reports whether the scheme describes a usable histogram.
+func (s LogScheme) Valid() bool {
+	return s.Min > 0 && s.Growth > 1 && s.Buckets > 0
+}
+
+// LogHist is a deterministic log-bucketed histogram: counts-per-bucket under
+// a LogScheme, plus an observation count and sum. All methods are nil-safe
+// and the counters are atomic, so concurrent observers need no lock; note
+// that under concurrency the float Sum accumulates in scheduling order, so
+// only single-goroutine (or post-merge, submission-ordered) observation
+// yields bit-identical sums — the property the determinism gates pin for
+// the modeled-cycle histogram.
+type LogHist struct {
+	scheme LogScheme
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+// NewLogHist returns an empty histogram under the scheme. An invalid scheme
+// returns nil, whose methods are no-ops.
+func NewLogHist(s LogScheme) *LogHist {
+	if !s.Valid() {
+		return nil
+	}
+	b := s.Bounds()
+	return &LogHist{scheme: s, bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. Values at or below the first bound land in
+// bucket 0; values above the last bound land in the overflow bucket. The
+// bucket is found by binary search over the materialized bounds (never by
+// floating-point log arithmetic), so placement is exactly reproducible.
+func (h *LogHist) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, x) // first bound >= x: the inclusive upper bound
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(x)
+}
+
+// Count returns the total number of observations.
+func (h *LogHist) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *LogHist) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Scheme returns the histogram's bucket scheme (zero value when nil).
+func (h *LogHist) Scheme() LogScheme {
+	if h == nil {
+		return LogScheme{}
+	}
+	return h.scheme
+}
+
+// Snapshot copies the histogram into its serialized form, which shares the
+// HistogramSnapshot shape with fixed-bucket histograms — so the JSON
+// metrics snapshot, the Prometheus exposition and the quantile/merge
+// helpers all treat the two identically.
+func (h *LogHist) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Value(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucketed counts,
+// interpolating linearly inside the bucket that contains the target rank
+// (the Prometheus histogram_quantile estimator). The first bucket
+// interpolates from 0; the overflow bucket clamps to the last finite bound,
+// so an estimate never invents mass beyond what the histogram can resolve.
+// An empty snapshot returns NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := float64(cum)
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1] // overflow: clamp to last bound
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - lo) / float64(c)
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (upper-lower)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Merge returns the bucket-wise sum of two snapshots. Merging is
+// commutative and associative on the counts (uint64 adds); the float Sum
+// adds in argument order, so fold snapshots in a fixed order when
+// bit-identical output matters. Snapshots with different bounds cannot be
+// merged losslessly and return an error.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(o.Bounds) == 0 && o.Count == 0 {
+		return s.clone(), nil
+	}
+	if len(s.Bounds) == 0 && s.Count == 0 {
+		return o.clone(), nil
+	}
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistogramSnapshot{}, fmt.Errorf("telemetry: merge of histograms with %d vs %d bounds", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("telemetry: merge of histograms with different bounds at bucket %d (%v vs %v)", i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	out := s.clone()
+	for i := range o.Counts {
+		out.Counts[i] += o.Counts[i]
+	}
+	out.Count += o.Count
+	out.Sum += o.Sum
+	return out, nil
+}
+
+func (s HistogramSnapshot) clone() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: append([]uint64(nil), s.Counts...),
+		Count:  s.Count,
+		Sum:    s.Sum,
+	}
+}
+
+// LogHist returns (creating if needed) the log-bucketed histogram for
+// name+labels under the given scheme. Like Histogram, the scheme is fixed
+// at first creation; later calls with a different scheme return the
+// existing histogram unchanged. A nil registry returns nil.
+func (r *Registry) LogHist(name string, s LogScheme, labels ...string) *LogHist {
+	if r == nil {
+		return nil
+	}
+	k := Key(name, labels...)
+	r.mu.RLock()
+	h := r.logHists[k]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.logHists[k]; h == nil {
+		h = NewLogHist(s)
+		if h == nil {
+			return nil
+		}
+		r.logHists[k] = h
+	}
+	return h
+}

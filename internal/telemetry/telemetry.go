@@ -252,6 +252,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	logHists   map[string]*LogHist
 	timers     map[string]*Timer
 }
 
@@ -261,6 +262,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		logHists:   make(map[string]*LogHist),
 		timers:     make(map[string]*Timer),
 	}
 }
@@ -371,8 +373,15 @@ type TimerSnapshot struct {
 }
 
 // Snapshot is a point-in-time copy of a registry, serializable to JSON.
-// Map keys are the canonical metric keys from Key.
+// Map keys are the canonical metric keys from Key. Log-bucketed histograms
+// appear in Histograms alongside the fixed-bucket ones — the serialized
+// shape (bounds, per-bucket counts, count, sum) is shared.
 type Snapshot struct {
+	// Meta is the optional provenance header (-metrics-out stamps go
+	// version, GOOS/GOARCH, CPU count, git describe here) so snapshots
+	// from different machines stay interpretable side by side. It is not a
+	// metric and nothing in the registry populates it.
+	Meta       map[string]string            `json:"meta,omitempty"`
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
@@ -411,6 +420,9 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		s.Histograms[k] = hs
 	}
+	for k, h := range r.logHists {
+		s.Histograms[k] = h.Snapshot()
+	}
 	for k, t := range r.timers {
 		s.Timers[k] = TimerSnapshot{TotalNs: t.ns.Load(), Count: t.count.Load(), MaxNs: t.max.Load()}
 	}
@@ -421,9 +433,17 @@ func (r *Registry) Snapshot() *Snapshot {
 // format). encoding/json sorts map keys, so the output is deterministic for
 // a given set of values.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.WriteJSONMeta(w, nil)
+}
+
+// WriteJSONMeta is WriteJSON with a provenance header attached to the
+// snapshot, so a -metrics-out file records the environment that produced it.
+func (r *Registry) WriteJSONMeta(w io.Writer, meta map[string]string) error {
+	s := r.Snapshot()
+	s.Meta = meta
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Snapshot())
+	return enc.Encode(s)
 }
 
 // KV is one metric key with its numeric value, for sorted reports.

@@ -163,6 +163,11 @@ func (o *Observer) Histogram(name string, bounds []float64, labels ...string) *H
 	return o.Reg().Histogram(name, bounds, labels...)
 }
 
+// LogHist is a nil-safe shortcut for Reg().LogHist.
+func (o *Observer) LogHist(name string, s LogScheme, labels ...string) *LogHist {
+	return o.Reg().LogHist(name, s, labels...)
+}
+
 // Timer is a nil-safe shortcut for Reg().Timer.
 func (o *Observer) Timer(name string, labels ...string) *Timer {
 	return o.Reg().Timer(name, labels...)

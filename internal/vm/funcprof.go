@@ -23,6 +23,10 @@ type FuncStat struct {
 type profFrame struct {
 	st    *FuncStat
 	start float64
+	// path is the folded call path ("caller;...;this") of the frame, built
+	// incrementally at push time so folded-stack attribution never walks
+	// the stack.
+	path string
 	// rec marks a recursive activation: the function was already live when
 	// this frame was pushed, so closing it must not add to CumCycles again.
 	rec bool
@@ -39,17 +43,21 @@ type FuncProfiler struct {
 	onStack map[*FuncStat]int
 	cur     *FuncStat
 	mark    float64 // machine cycles at the last attribution point
+	// paths attributes self cycles to full call paths (semicolon-joined
+	// frames, flamegraph.pl's folded-stack key) alongside the flat stats.
+	paths map[string]float64
 }
 
 func newFuncProfiler(entry string, cycles float64) *FuncProfiler {
 	p := &FuncProfiler{
 		stats:   map[string]*FuncStat{},
 		onStack: map[*FuncStat]int{},
+		paths:   map[string]float64{},
 		mark:    cycles,
 	}
 	st := p.stat(entry)
 	p.cur = st
-	p.push(st, cycles)
+	p.push(st, entry, cycles)
 	return p
 }
 
@@ -62,16 +70,36 @@ func (p *FuncProfiler) stat(name string) *FuncStat {
 	return st
 }
 
-func (p *FuncProfiler) push(st *FuncStat, cycles float64) {
-	p.stack = append(p.stack, profFrame{st: st, start: cycles, rec: p.onStack[st] > 0})
+func (p *FuncProfiler) push(st *FuncStat, path string, cycles float64) {
+	p.stack = append(p.stack, profFrame{st: st, start: cycles, path: path, rec: p.onStack[st] > 0})
 	p.onStack[st]++
 }
 
+// curPath is the folded call path cycles are currently charged to. When the
+// current function diverges from the top frame (a tail call or hijacked jump
+// moved control without pushing), the divergent function is appended so the
+// folded view shows where the time really went.
+func (p *FuncProfiler) curPath() string {
+	n := len(p.stack)
+	if n == 0 {
+		if p.cur != nil {
+			return p.cur.Name
+		}
+		return ""
+	}
+	top := p.stack[n-1]
+	if p.cur == nil || p.cur == top.st {
+		return top.path
+	}
+	return top.path + ";" + p.cur.Name
+}
+
 // attribute charges the cycles since the last attribution point to the
-// current function's self time.
+// current function's self time and to the current folded call path.
 func (p *FuncProfiler) attribute(cycles float64) {
-	if p.cur != nil {
-		p.cur.SelfCycles += cycles - p.mark
+	if delta := cycles - p.mark; p.cur != nil && delta != 0 {
+		p.cur.SelfCycles += delta
+		p.paths[p.curPath()] += delta
 	}
 	p.mark = cycles
 }
@@ -79,9 +107,10 @@ func (p *FuncProfiler) attribute(cycles float64) {
 // onCall records a call edge into callee at the given cycle count.
 func (p *FuncProfiler) onCall(callee string, cycles float64) {
 	p.attribute(cycles)
+	path := p.curPath() + ";" + callee
 	st := p.stat(callee)
 	st.Calls++
-	p.push(st, cycles)
+	p.push(st, path, cycles)
 	p.cur = st
 }
 
@@ -164,10 +193,37 @@ func (p *FuncProfiler) WriteTable(w io.Writer, n int) {
 	}
 }
 
+// FoldedStacks returns the per-call-path self-cycle attribution sorted by
+// path — one entry per distinct folded stack ("caller;...;callee").
+func (p *FuncProfiler) FoldedStacks() []FoldedStack {
+	out := make([]FoldedStack, 0, len(p.paths))
+	for path, cycles := range p.paths {
+		out = append(out, FoldedStack{Path: path, Cycles: cycles})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// FoldedStack is one call path's share of the cycle budget.
+type FoldedStack struct {
+	Path   string
+	Cycles float64
+}
+
+// WriteFolded renders the profile in folded-stack format — one
+// "frame;frame;frame count" line per distinct call path, the input
+// flamegraph.pl and speedscope consume directly.
+func (p *FuncProfiler) WriteFolded(w io.Writer) {
+	for _, fs := range p.FoldedStacks() {
+		fmt.Fprintf(w, "%s %.0f\n", fs.Path, fs.Cycles)
+	}
+}
+
 // Publish adds the profile's totals to the registry as counters keyed by
-// function name. Call it once per profiler (typically when its run ends);
-// repeated runs into the same registry accumulate, which is what a harness
-// that aggregates many seeded runs wants.
+// function name (flat profile) and by folded call path (stack profile).
+// Call it once per profiler (typically when its run ends); repeated runs
+// into the same registry accumulate, which is what a harness that
+// aggregates many seeded runs wants.
 func (p *FuncProfiler) Publish(reg *telemetry.Registry) {
 	if reg == nil {
 		return
@@ -176,5 +232,8 @@ func (p *FuncProfiler) Publish(reg *telemetry.Registry) {
 		reg.Counter("vm.func.self_cycles", "fn", st.Name).Add(uint64(st.SelfCycles))
 		reg.Counter("vm.func.cum_cycles", "fn", st.Name).Add(uint64(st.CumCycles))
 		reg.Counter("vm.func.calls", "fn", st.Name).Add(st.Calls)
+	}
+	for _, fs := range p.FoldedStacks() {
+		reg.Counter("vm.stack.self_cycles", "stack", fs.Path).Add(uint64(fs.Cycles))
 	}
 }
