@@ -4,7 +4,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test test-race bench bench-compare audit check clean
+.PHONY: all build vet test test-race bench bench-vm bench-compare audit check clean
 
 all: check
 
@@ -42,6 +42,12 @@ bench: $(BIN)/r2cbench $(BIN)/r2cattack
 	$(BIN)/r2cbench -scale 8 -runs 1 -baseline BENCH_figure6.json figure6
 	$(BIN)/r2cattack -trials 4 -baseline BENCH_table3.json table3
 
+# Interpreter-core microbenchmarks: each kernel runs on the fast (predecoded)
+# dispatch engine and the legacy per-instruction loop, so the printed
+# Minstr/s pairs are the speedup the fast path buys on that code shape.
+bench-vm:
+	$(GO) test -bench=BenchmarkVM -benchmem -count=1 -run=^$$ ./internal/vm/
+
 # Regression gate: re-run each committed baseline's experiment at its
 # recorded parameters and fail on any deterministic drift or >2x latency
 # growth. COMPARE_FLAGS=-compare-warn turns timing failures into warnings
@@ -64,7 +70,8 @@ audit: $(BIN)/r2caudit
 # the fault-injection tests exercise watchdogs and stalls, and a regression
 # that reintroduces a real hang should fail the gate in minutes, not hours.
 check: build vet test
-	$(GO) test -race -timeout 300s ./internal/exec/ ./internal/telemetry/
+	$(GO) test -race -timeout 300s ./internal/exec/ ./internal/telemetry/ ./internal/vm/ ./internal/pcode/
+	$(GO) test -run=^$$ -bench=BenchmarkVM -benchtime=1x ./internal/vm/
 
 clean:
 	$(GO) clean ./...

@@ -134,6 +134,41 @@ type Func struct {
 	// omitted, as -O3 code does); under OIA it reads them through the rbp
 	// the caller parked at the first stack argument (Section 5.1.1).
 	NumStackParams int
+	// BlockStarts lists the sorted instruction indices that begin a basic
+	// block in the lowered body (entry, branch targets, fall-throughs after
+	// terminators). Toolchain metadata for the VM's predecoded fast path;
+	// invisible at runtime.
+	BlockStarts []int
+}
+
+// BlockBoundaries computes the sorted basic-block leader indices of an
+// instruction sequence: index 0, every intra-sequence branch target, and
+// the instruction after every block terminator.
+func BlockBoundaries(instrs []isa.Instr) []int {
+	if len(instrs) == 0 {
+		return nil
+	}
+	leader := make([]bool, len(instrs))
+	leader[0] = true
+	for i := range instrs {
+		in := &instrs[i]
+		if in.EndsBlock() && i+1 < len(instrs) {
+			leader[i+1] = true
+		}
+		switch in.Kind {
+		case isa.KJmp, isa.KJz, isa.KJnz:
+			if in.LocalTarget >= 0 && in.LocalTarget < len(instrs) {
+				leader[in.LocalTarget] = true
+			}
+		}
+	}
+	var out []int
+	for i, l := range leader {
+		if l {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Disasm renders the function's instructions with indices.

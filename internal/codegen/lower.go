@@ -143,6 +143,9 @@ func Compile(mod *tir.Module, cfg defense.Config, seed uint64) (*Program, error)
 		p.Funcs = append(p.Funcs, tr)
 	}
 	p.NumCallSites = lw.nextCallSite
+	for _, f := range p.Funcs {
+		f.BlockStarts = BlockBoundaries(f.Instrs)
+	}
 	return p, nil
 }
 

@@ -22,14 +22,28 @@ import (
 	"r2c/internal/tir"
 )
 
+// KeySchema versions the derived artifacts attached to a cached image beyond
+// the architectural bytes themselves. Bump it whenever the predecoded form
+// changes shape or meaning (pcode opcodes, superinstruction set, block/class
+// packing), so persisted journals and cross-process comparisons never treat
+// images predecoded under different layouts as interchangeable.
+//
+// Schema history:
+//
+//	1: architectural image only (pre-predecode)
+//	2: pcode v1 — dense ops, XPushImm2/XPushImmCall/XAluAddImmCall/XVLoadStore
+//	   superinstructions, packed per-block class counts, return-site indices
+const KeySchema = 2
+
 // Key identifies one build: module content, configuration fingerprint, and
-// diversification seed. Builds with equal keys are bit-identical, because
-// the whole toolchain (codegen, linker, loader) is a pure function of these
-// three values.
+// diversification seed, plus the derived-artifact schema version. Builds with
+// equal keys are bit-identical, because the whole toolchain (codegen, linker,
+// loader, predecoder) is a pure function of these values.
 type Key struct {
 	Module string // hex of tir.Module.ContentHash
 	Config string // defense.Config.Fingerprint
 	Seed   uint64
+	Schema int // KeySchema at build time
 }
 
 // KeyFor computes the build-cache key for a cell. Module content hashes are
@@ -37,7 +51,7 @@ type Key struct {
 // per call; hashing a browser-scale module once instead of once per cell
 // keeps the key computation off the profile).
 func KeyFor(m *tir.Module, cfg defense.Config, seed uint64) Key {
-	return Key{Module: moduleHash(m), Config: cfg.Fingerprint(), Seed: seed}
+	return Key{Module: moduleHash(m), Config: cfg.Fingerprint(), Seed: seed, Schema: KeySchema}
 }
 
 // moduleHashes memoizes ContentHash by module pointer. Modules handed to the

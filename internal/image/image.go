@@ -14,6 +14,7 @@ import (
 	"r2c/internal/codegen"
 	"r2c/internal/isa"
 	"r2c/internal/mem"
+	"r2c/internal/pcode"
 	"r2c/internal/rng"
 	"r2c/internal/tir"
 )
@@ -130,6 +131,13 @@ type Image struct {
 	// Unwind is the simulated .eh_frame, sorted by Start.
 	Unwind []UnwindEntry
 
+	// Code is the predecoded program (package pcode): the dense form the
+	// VM's fast-path interpreter executes. Built once at link time and
+	// immutable thereafter, so cached images share it across processes.
+	// RebuildCode refreshes it after the one sanctioned text mutation
+	// (rt.RerollBTRAs, which only runs on uncached images).
+	Code *pcode.Program
+
 	// sortedFuncs is the placement sorted by start address, for fast
 	// address-to-function lookup in the VM's hot path.
 	sortedFuncs []*PlacedFunc
@@ -184,7 +192,28 @@ func Link(prog *codegen.Program, aslrSeed uint64) (*Image, error) {
 	sort.Slice(img.sortedFuncs, func(i, j int) bool {
 		return img.sortedFuncs[i].Start < img.sortedFuncs[j].Start
 	})
+	img.RebuildCode()
 	return img, nil
+}
+
+// RebuildCode (re)derives the predecoded fast-path program from the current
+// instruction table. Link calls it once; the only other caller is the
+// InsecureDynamicBTRAs reroll path, which rewrites push immediates in text
+// and must refresh the derived form before the process resumes.
+func (img *Image) RebuildCode() {
+	ins := make([]pcode.FuncIn, 0, len(img.FuncOrder))
+	for _, name := range img.FuncOrder {
+		pf := img.Funcs[name]
+		ins = append(ins, pcode.FuncIn{
+			Name:        name,
+			Instrs:      pf.F.Instrs,
+			Addrs:       pf.InstrAddrs,
+			Start:       pf.Start,
+			End:         pf.End,
+			BlockStarts: pf.F.BlockStarts,
+		})
+	}
+	img.Code = pcode.Build(ins)
 }
 
 // placeText assigns addresses to every function. With function shuffling

@@ -194,6 +194,10 @@ const (
 	KSys
 	// KHalt: stop the machine (end of _start).
 	KHalt
+
+	// KindCount is the number of instruction kinds, for dense per-kind
+	// tables (predecode dispatch, class counters).
+	KindCount = int(KHalt) + 1
 )
 
 var kindNames = [...]string{
@@ -423,6 +427,18 @@ func (in *Instr) String() string {
 func (in *Instr) IsControlTransfer() bool {
 	switch in.Kind {
 	case KCall, KCallInd, KRet, KJmp, KJz, KJnz:
+		return true
+	}
+	return false
+}
+
+// EndsBlock reports whether the instruction terminates a basic block: every
+// control transfer, plus the kinds that can stop or redirect the machine
+// without being a branch (traps detonate, sys can halt or fail). The
+// instruction after one of these starts a new block.
+func (in *Instr) EndsBlock() bool {
+	switch in.Kind {
+	case KCall, KCallInd, KRet, KJmp, KJz, KJnz, KTrap, KSys, KHalt:
 		return true
 	}
 	return false

@@ -1,0 +1,276 @@
+package pcode
+
+import (
+	"testing"
+
+	"r2c/internal/isa"
+	"r2c/internal/mem"
+)
+
+// place assigns consecutive encoded addresses starting at start and returns
+// the per-instruction addresses plus the end-of-function address.
+func place(start uint64, instrs []isa.Instr) ([]uint64, uint64) {
+	addrs := make([]uint64, len(instrs))
+	a := start
+	for i := range instrs {
+		addrs[i] = a
+		a += uint64(instrs[i].EncodedSize())
+	}
+	return addrs, a
+}
+
+func fn(name string, start uint64, blockStarts []int, instrs ...isa.Instr) FuncIn {
+	addrs, end := place(start, instrs)
+	return FuncIn{Name: name, Instrs: instrs, Addrs: addrs, Start: start, End: end, BlockStarts: blockStarts}
+}
+
+// buildFixture is the shared multi-function program the tests pick apart:
+//
+//	f:  push-imm run ending in a call (fusion), a jz back to the entry, halt
+//	g:  abs load, bad-width vector op, wild call, ret; BlockStarts leader at 1
+//	h:  nops straddling an i-cache line boundary
+//	q:  nops straddling a page boundary
+//	nf: push-imm pair whose second op is a jump target (fusion must not fire)
+func buildFixture() (*Program, map[string]FuncIn) {
+	lineBoundary := uint64(2) << lineShift
+	pageBoundary := uint64(16) << mem.PageShift // clear of the other functions
+	funcs := []FuncIn{
+		fn("f", 0x1000, nil,
+			isa.Instr{Kind: isa.KPushImm, Imm: 7},
+			isa.Instr{Kind: isa.KPushImm, Imm: 8},
+			isa.Instr{Kind: isa.KPushImm, Imm: 9},
+			isa.Instr{Kind: isa.KCall, Target: 0x2000},
+			isa.Instr{Kind: isa.KJz, Src: 1, Target: 0x1000},
+			isa.Instr{Kind: isa.KHalt},
+		),
+		fn("g", 0x2000, []int{1},
+			isa.Instr{Kind: isa.KAluImm, Alu: isa.AluAdd, Dst: 2, Imm: 16},
+			isa.Instr{Kind: isa.KLoad, Dst: 3, Base: isa.NoGPR, Target: 0x8000, Disp: 8},
+			isa.Instr{Kind: isa.KVLoad, Base: isa.NoGPR, Target: 0x8000, Imm: 5},
+			isa.Instr{Kind: isa.KCall, Target: 0x9999},
+			isa.Instr{Kind: isa.KRet},
+		),
+		fn("h", lineBoundary-2, nil,
+			isa.Instr{Kind: isa.KNop},
+			isa.Instr{Kind: isa.KNop},
+			isa.Instr{Kind: isa.KNop},
+		),
+		fn("q", pageBoundary-2, nil,
+			isa.Instr{Kind: isa.KNop},
+			isa.Instr{Kind: isa.KNop},
+			isa.Instr{Kind: isa.KNop},
+		),
+	}
+	// nf's jump targets its second push, so the pair straddles a block edge.
+	nfStart := pageBoundary + 0x1000
+	nf := fn("nf", nfStart, nil,
+		isa.Instr{Kind: isa.KPushImm, Imm: 1},
+		isa.Instr{Kind: isa.KPushImm, Imm: 2},
+		isa.Instr{Kind: isa.KJmp},
+	)
+	nf.Instrs[2].Target = nf.Addrs[1]
+	funcs = append(funcs, nf)
+
+	byName := make(map[string]FuncIn, len(funcs))
+	for _, f := range funcs {
+		byName[f.Name] = f
+	}
+	return Build(funcs), byName
+}
+
+func TestIndexOfAndSentinels(t *testing.T) {
+	p, fns := buildFixture()
+
+	nInstr := 0
+	for _, f := range fns {
+		nInstr += len(f.Instrs)
+	}
+	if got, want := p.NumOps(), nInstr+len(fns); got != want {
+		t.Fatalf("NumOps = %d, want %d (instrs + one sentinel per function)", got, want)
+	}
+
+	for name, f := range fns {
+		for i, a := range f.Addrs {
+			ix := p.IndexOf(a)
+			if ix < 0 {
+				t.Fatalf("%s instr %d at %#x not indexed", name, i, a)
+			}
+			if p.Ops[ix].Addr != a || p.Ops[ix].Kind != f.Instrs[i].Kind {
+				t.Fatalf("%s instr %d: index %d resolves to wrong op", name, i, ix)
+			}
+		}
+		// The sentinel sits right after the last instruction, carries the
+		// function-end address, and is not addressable.
+		last := p.IndexOf(f.Addrs[len(f.Addrs)-1])
+		s := p.Ops[last+1]
+		if s.Exec != XFellOff || s.Addr != f.End {
+			t.Fatalf("%s sentinel: got exec=%d addr=%#x, want XFellOff at %#x", name, s.Exec, s.Addr, f.End)
+		}
+		if p.IndexOf(f.End) != -1 {
+			t.Fatalf("%s: sentinel address %#x must not be in the index", name, f.End)
+		}
+	}
+	if p.IndexOf(0xdeadbeef) != -1 {
+		t.Fatal("IndexOf of an unmapped address must be -1")
+	}
+}
+
+func TestTargetAndReturnResolution(t *testing.T) {
+	p, fns := buildFixture()
+	f, g := fns["f"], fns["g"]
+
+	call := p.Ops[p.IndexOf(f.Addrs[3])]
+	if want := p.IndexOf(g.Start); call.TIdx != want {
+		t.Errorf("call TIdx = %d, want %d (g entry)", call.TIdx, want)
+	}
+	ra := f.Addrs[3] + uint64(f.Instrs[3].EncodedSize())
+	if call.Imm != ra {
+		t.Errorf("call precomputed RA = %#x, want %#x", call.Imm, ra)
+	}
+	if want := p.IndexOf(ra); call.RAIdx != want {
+		t.Errorf("call RAIdx = %d, want %d", call.RAIdx, want)
+	}
+
+	jz := p.Ops[p.IndexOf(f.Addrs[4])]
+	if want := p.IndexOf(f.Start); jz.TIdx != want {
+		t.Errorf("jz TIdx = %d, want %d (f entry)", jz.TIdx, want)
+	}
+
+	// A call to an unmapped address stays unresolved, but its return site —
+	// which is mapped — still gets a predictor index.
+	wild := p.Ops[p.IndexOf(g.Addrs[3])]
+	if wild.TIdx != -1 {
+		t.Errorf("wild call TIdx = %d, want -1", wild.TIdx)
+	}
+	if want := p.IndexOf(g.Addrs[4]); wild.RAIdx != want {
+		t.Errorf("wild call RAIdx = %d, want %d", wild.RAIdx, want)
+	}
+}
+
+func TestDecodeSpecialCases(t *testing.T) {
+	p, fns := buildFixture()
+	g := fns["g"]
+
+	load := p.Ops[p.IndexOf(g.Addrs[1])]
+	if load.Exec != XLoadAbs || load.Imm != 0x8008 {
+		t.Errorf("abs load: exec=%d imm=%#x, want XLoadAbs with precomputed %#x", load.Exec, load.Imm, uint64(0x8008))
+	}
+
+	bad := p.Ops[p.IndexOf(g.Addrs[2])]
+	if bad.Exec != XBadVec || bad.Imm != 5 {
+		t.Errorf("bad vector width: exec=%d imm=%d, want XBadVec keeping the width", bad.Exec, bad.Imm)
+	}
+}
+
+func TestFusion(t *testing.T) {
+	p, fns := buildFixture()
+	f, nf := fns["f"], fns["nf"]
+
+	i0 := p.IndexOf(f.Addrs[0])
+	if got := p.Ops[i0].Exec; got != XPushImm2 {
+		t.Errorf("f[0] exec = %d, want XPushImm2", got)
+	}
+	// The consumed second component keeps its unfused entry so it remains a
+	// valid resume point.
+	if got := p.Ops[i0+1].Exec; got != XPushImm {
+		t.Errorf("f[1] exec = %d, want XPushImm (unfused second component)", got)
+	}
+	if got := p.Ops[i0+2].Exec; got != XPushImmCall {
+		t.Errorf("f[2] exec = %d, want XPushImmCall", got)
+	}
+	if got := p.Ops[i0+3].Exec; got != XCall {
+		t.Errorf("f[3] exec = %d, want XCall (component of the fused pair)", got)
+	}
+
+	// nf's second push is a jump target: a block leader, so no fusion.
+	n0 := p.IndexOf(nf.Addrs[0])
+	if got := p.Ops[n0].Exec; got != XPushImm {
+		t.Errorf("nf[0] exec = %d, want XPushImm (fusion across a block edge)", got)
+	}
+}
+
+func TestFetchElisionFlags(t *testing.T) {
+	p, fns := buildFixture()
+	h, q := fns["h"], fns["q"]
+
+	// Function entries are leaders: always checked dynamically.
+	if got := p.Ops[p.IndexOf(h.Start)].Flags; got != FNewLine|FNewPage {
+		t.Errorf("h entry flags = %#x, want FNewLine|FNewPage", got)
+	}
+	// Second nop shares its predecessor's line and page.
+	if got := p.Ops[p.IndexOf(h.Addrs[1])].Flags; got != 0 {
+		t.Errorf("h[1] flags = %#x, want 0 (same line, same page)", got)
+	}
+	// Third nop crosses the line boundary but not the page boundary.
+	if got := p.Ops[p.IndexOf(h.Addrs[2])].Flags; got != FNewLine {
+		t.Errorf("h[2] flags = %#x, want FNewLine", got)
+	}
+	// q's third nop crosses a page boundary (which is also a line boundary).
+	if got := p.Ops[p.IndexOf(q.Addrs[2])].Flags; got != FNewLine|FNewPage {
+		t.Errorf("q[2] flags = %#x, want FNewLine|FNewPage", got)
+	}
+}
+
+func TestBlocksAndClassCounts(t *testing.T) {
+	p, fns := buildFixture()
+	f, g := fns["f"], fns["g"]
+
+	// Every op belongs to the block that claims it, and blocks tile the
+	// whole op array.
+	next := int32(0)
+	for bi, b := range p.Blocks {
+		if b.Start != next || b.End <= b.Start {
+			t.Fatalf("block %d: extent [%d,%d) does not tile (expected start %d)", bi, b.Start, b.End, next)
+		}
+		next = b.End
+		for i := b.Start; i < b.End; i++ {
+			if p.Ops[i].Block != int32(bi) {
+				t.Fatalf("op %d claims block %d, lives in block %d", i, p.Ops[i].Block, bi)
+			}
+		}
+	}
+	if next != int32(len(p.Ops)) {
+		t.Fatalf("blocks cover %d ops, want %d", next, len(p.Ops))
+	}
+
+	// Packed class counts match a direct recount, excluding sentinels.
+	total := uint32(0)
+	for bi, b := range p.Blocks {
+		var want [isa.KindCount]uint32
+		for i := b.Start; i < b.End; i++ {
+			if p.Ops[i].Exec != XFellOff {
+				want[p.Ops[i].Kind]++
+			}
+		}
+		var got [isa.KindCount]uint32
+		for _, pk := range p.Classes[b.ClassOff : b.ClassOff+uint32(b.ClassN)] {
+			got[pk>>24] += pk & 0xffffff
+		}
+		if got != want {
+			t.Fatalf("block %d: packed class counts %v != recount %v", bi, got, want)
+		}
+		for _, c := range got {
+			total += c
+		}
+	}
+	nInstr := uint32(0)
+	for _, fin := range fns {
+		nInstr += uint32(len(fin.Instrs))
+	}
+	if total != nInstr {
+		t.Fatalf("class counts sum to %d, want %d instructions", total, nInstr)
+	}
+
+	// f's entry block runs up to the call's successor: the push run and the
+	// call retire as one block of 3 pushes + 1 call.
+	eb := p.Blocks[p.Ops[p.IndexOf(f.Start)].Block]
+	if eb.End-eb.Start != 4 {
+		t.Errorf("f entry block spans %d ops, want 4", eb.End-eb.Start)
+	}
+
+	// g's lowering-time BlockStarts entry forces a leader mid-function.
+	gi := p.IndexOf(g.Addrs[1])
+	if b := p.Blocks[p.Ops[gi].Block]; b.Start != gi {
+		t.Errorf("g BlockStarts leader: block starts at %d, want %d", b.Start, gi)
+	}
+}

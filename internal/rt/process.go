@@ -501,6 +501,9 @@ func (p *Process) RerollBTRAs(seed uint64) error {
 			}
 		}
 	}
+	// The predecoded fast-path program caches push immediates; refresh it
+	// so the VM executes the rerolled values.
+	p.Img.RebuildCode()
 	// AVX-mode arrays live in the data section.
 	for _, b := range p.Img.Prog.Blobs {
 		ds := p.Img.DataSyms[b.Name]

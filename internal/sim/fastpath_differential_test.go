@@ -1,0 +1,252 @@
+package sim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"r2c/internal/attack"
+	"r2c/internal/bench"
+	"r2c/internal/defense"
+	"r2c/internal/rt"
+	"r2c/internal/sim"
+	"r2c/internal/telemetry"
+	"r2c/internal/vm"
+	"r2c/internal/workload"
+)
+
+// These tests are the fast-path interpreter's equivalence gate: the
+// predecoded, superinstruction-fusing, block-batched dispatch loop must be
+// observationally indistinguishable from the legacy per-instruction
+// interpreter — identical Results (counters, cycles, faults, traps, output),
+// identical error values, identical pause/resume points, and identical
+// exported metrics. vm.ForceLegacyDispatch pins machines built inside
+// library code (sim, bench, attack) to the reference loop for the "legacy"
+// leg of each comparison.
+
+// runBoth executes the same run under both interpreters and returns
+// (legacy, fast) results plus their errors.
+func runBoth(t *testing.T, build func() (*vm.Result, error)) (lr, fr *vm.Result, le, fe error) {
+	t.Helper()
+	vm.ForceLegacyDispatch.Store(true)
+	lr, le = build()
+	vm.ForceLegacyDispatch.Store(false)
+	fr, fe = build()
+	return lr, fr, le, fe
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TestFastPathMatchesLegacyOnWorkloads runs all twelve SPEC workloads plus
+// both webservers under the baseline and full-R2C configs on each
+// interpreter and requires the entire Result struct to match field for
+// field.
+func TestFastPathMatchesLegacyOnWorkloads(t *testing.T) {
+	scale := 16
+	if testing.Short() {
+		scale = 64
+	}
+	benches := workload.SPEC()
+	for _, name := range []string{"nginx", "apache"} {
+		b, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("workload %q missing", name)
+		}
+		benches = append(benches, b)
+	}
+	for _, b := range benches {
+		m := b.Build(scale)
+		for _, cfg := range []defense.Config{defense.Off(), defense.R2CFull()} {
+			lr, fr, le, fe := runBoth(t, func() (*vm.Result, error) {
+				res, _, err := sim.Run(m, cfg, 7, vm.EPYCRome())
+				return res, err
+			})
+			if errString(le) != errString(fe) {
+				t.Fatalf("%s/%s: errors diverge: legacy %v, fast %v", b.Name, cfg.Name, le, fe)
+			}
+			if !reflect.DeepEqual(lr, fr) {
+				t.Fatalf("%s/%s: results diverge\nlegacy: %+v\nfast:   %+v", b.Name, cfg.Name, lr, fr)
+			}
+		}
+	}
+}
+
+// TestFastPathMatchesLegacyOnRandomPrograms fuzzes the equivalence: random
+// programs (some of which fault or run into traps by construction) must
+// produce identical Results — including the Fault and Trap fields — and
+// identical error strings under both interpreters.
+func TestFastPathMatchesLegacyOnRandomPrograms(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	cfgs := []defense.Config{defense.Off(), defense.R2CFull(), defense.R2CPush(), defense.CFIShadowStack()}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		m := workload.Random(seed)
+		cfg := cfgs[int(seed)%len(cfgs)]
+		lr, fr, le, fe := runBoth(t, func() (*vm.Result, error) {
+			res, _, err := sim.Run(m, cfg, seed, vm.EPYCRome())
+			return res, err
+		})
+		if errString(le) != errString(fe) {
+			t.Fatalf("seed %d %s: errors diverge: legacy %v, fast %v", seed, cfg.Name, le, fe)
+		}
+		if !reflect.DeepEqual(lr, fr) {
+			t.Fatalf("seed %d %s: results diverge\nlegacy: %+v\nfast:   %+v", seed, cfg.Name, lr, fr)
+		}
+	}
+}
+
+// TestFastPathResumeAndKnobParity drives two identically-built machines in
+// small chunks with the RSS-sampling and i-cache-flush knobs enabled. Every
+// pause must land on the same PC with the same retired-instruction count —
+// the fast path may only batch work it can attribute to the exact same
+// boundaries the legacy loop observes.
+func TestFastPathResumeAndKnobParity(t *testing.T) {
+	b, _ := workload.ByName("nginx")
+	m := b.Build(16)
+	for _, cfg := range []defense.Config{defense.Off(), defense.R2CFull()} {
+		mk := func(legacy bool) *vm.Machine {
+			proc, err := sim.Build(m, cfg, 5)
+			if err != nil {
+				t.Fatalf("%s: build: %v", cfg.Name, err)
+			}
+			mach := vm.New(proc, vm.EPYCRome())
+			mach.Legacy = legacy
+			mach.SampleEvery = 5000
+			mach.FlushICacheEvery = 9001
+			return mach
+		}
+		lm, fm := mk(true), mk(false)
+		const chunk = 7777 // deliberately misaligned with blocks and knobs
+		for step := 0; ; step++ {
+			lr, le := lm.Run(chunk)
+			fr, fe := fm.Run(chunk)
+			if errString(le) != errString(fe) {
+				t.Fatalf("%s step %d: errors diverge: legacy %v, fast %v", cfg.Name, step, le, fe)
+			}
+			if lm.CPU.PC != fm.CPU.PC {
+				t.Fatalf("%s step %d: pause PC diverges: legacy %#x, fast %#x", cfg.Name, step, lm.CPU.PC, fm.CPU.PC)
+			}
+			if !reflect.DeepEqual(lr, fr) {
+				t.Fatalf("%s step %d: results diverge\nlegacy: %+v\nfast:   %+v", cfg.Name, step, lr, fr)
+			}
+			if le != vm.ErrInstructionBudget {
+				if !lr.Halted {
+					t.Fatalf("%s: run ended without halting: %v", cfg.Name, le)
+				}
+				break
+			}
+			if step > 100000 {
+				t.Fatalf("%s: did not halt", cfg.Name)
+			}
+		}
+	}
+}
+
+// TestFastPathTrapParity detonates the same booby trap under both
+// interpreters: a shadow-stack violation planted through the attack
+// framework. The recorded trap events — kind, PC, leaked address — must
+// match exactly.
+func TestFastPathTrapParity(t *testing.T) {
+	type trapRun struct {
+		outcome attack.Outcome
+		pc      uint64
+		traps   []rt.TrapEvent
+	}
+	run := func(legacy bool) trapRun {
+		vm.ForceLegacyDispatch.Store(legacy)
+		defer vm.ForceLegacyDispatch.Store(false)
+		s, err := attack.NewScenario(defense.CFIShadowStack(), 3)
+		if err != nil {
+			t.Fatalf("legacy=%v: scenario: %v", legacy, err)
+		}
+		cands, err := s.RACandidates()
+		if err != nil || len(cands) != 1 {
+			t.Fatalf("legacy=%v: RA candidates: %d, %v", legacy, len(cands), err)
+		}
+		other := s.Proc.Img.Funcs[attack.SymLogHandler].Start
+		if err := s.Write(cands[0].Addr, other); err != nil {
+			t.Fatalf("legacy=%v: write: %v", legacy, err)
+		}
+		o := s.ResumeOutcomeOnly()
+		return trapRun{outcome: o, pc: s.Mach.CPU.PC, traps: s.Proc.Traps()}
+	}
+	l, f := run(true), run(false)
+	if l.outcome != attack.Detected || f.outcome != attack.Detected {
+		t.Fatalf("outcomes: legacy %v, fast %v, want both detected", l.outcome, f.outcome)
+	}
+	if l.pc != f.pc {
+		t.Fatalf("trap PC diverges: legacy %#x, fast %#x", l.pc, f.pc)
+	}
+	if !reflect.DeepEqual(l.traps, f.traps) {
+		t.Fatalf("trap events diverge\nlegacy: %+v\nfast:   %+v", l.traps, f.traps)
+	}
+}
+
+// TestFastPathMetricsJSONParity compares the -metrics-out artifact byte for
+// byte: a fully instrumented run (registry + function profiler) must export
+// the identical JSON under either interpreter, and instrumentation must not
+// perturb the fast path's results either.
+func TestFastPathMetricsJSONParity(t *testing.T) {
+	b, _ := workload.ByName("xz")
+	m := b.Build(16)
+	run := func(legacy bool) (*vm.Result, []byte) {
+		vm.ForceLegacyDispatch.Store(legacy)
+		defer vm.ForceLegacyDispatch.Store(false)
+		obs := &telemetry.Observer{Registry: telemetry.NewRegistry(), ProfileFuncs: true}
+		res, _, err := sim.RunObserved(m, defense.R2CFull(), 11, vm.EPYCRome(), obs)
+		if err != nil {
+			t.Fatalf("legacy=%v: %v", legacy, err)
+		}
+		var buf bytes.Buffer
+		if err := obs.Registry.WriteJSON(&buf); err != nil {
+			t.Fatalf("legacy=%v: metrics JSON: %v", legacy, err)
+		}
+		return res, buf.Bytes()
+	}
+	lr, lj := run(true)
+	fr, fj := run(false)
+	if !reflect.DeepEqual(lr, fr) {
+		t.Fatalf("instrumented results diverge\nlegacy: %+v\nfast:   %+v", lr, fr)
+	}
+	if !bytes.Equal(lj, fj) {
+		t.Fatalf("metrics JSON diverges\nlegacy: %s\nfast:   %s", lj, fj)
+	}
+}
+
+// TestFastPathPipelineParity runs the Figure 6 benchmark pipeline serial on
+// the legacy interpreter and 8-wide on the fast path. Together with
+// TestParallelEqualsSerial (fast, jobs 1 vs 8) this closes the square:
+// neither the interpreter nor the scheduling may reach a reported number.
+func TestFastPathPipelineParity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("skipping double benchmark pipeline under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("skipping double benchmark pipeline in -short mode")
+	}
+	run := func(legacy bool, jobs int) (string, []bench.Figure6Series) {
+		vm.ForceLegacyDispatch.Store(legacy)
+		defer vm.ForceLegacyDispatch.Store(false)
+		var buf bytes.Buffer
+		f6, err := bench.Figure6(bench.Options{Scale: 16, Runs: 1, Out: &buf, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("legacy=%v jobs=%d: %v", legacy, jobs, err)
+		}
+		return buf.String(), f6
+	}
+	lOut, lF6 := run(true, 1)
+	fOut, fF6 := run(false, 8)
+	if !reflect.DeepEqual(lF6, fF6) {
+		t.Errorf("Figure 6 series diverge:\nlegacy/serial: %+v\nfast/parallel: %+v", lF6, fF6)
+	}
+	if lOut != fOut {
+		t.Errorf("printed tables diverge:\n--- legacy/serial ---\n%s--- fast/parallel ---\n%s", lOut, fOut)
+	}
+}

@@ -3,12 +3,19 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"r2c/internal/image"
 	"r2c/internal/isa"
 	"r2c/internal/mem"
 	"r2c/internal/rt"
 )
+
+// ForceLegacyDispatch, when set, makes newly created Machines execute on the
+// reference per-instruction interpreter instead of the predecoded fast path.
+// The differential tests flip it to prove the two paths are observationally
+// identical; it is not a performance knob.
+var ForceLegacyDispatch atomic.Bool
 
 // ErrInstructionBudget is returned when execution exceeds the step budget.
 var ErrInstructionBudget = errors.New("vm: instruction budget exhausted")
@@ -94,6 +101,11 @@ type Machine struct {
 	// larger protected text pay a larger re-warm cost.
 	FlushICacheEvery uint64
 
+	// Legacy pins this machine to the reference per-instruction
+	// interpreter. The fast path delegates to it anyway for mid-block
+	// resumes and sampling boundaries, so both paths stay live.
+	Legacy bool
+
 	ic           *icache
 	lastLine     uint64
 	lastExecPage uint64
@@ -104,6 +116,15 @@ type Machine struct {
 	// simulated address space, like a hardware shadow stack.
 	shadow []uint64
 
+	// rstack is the fast path's return predictor: each executed call pushes
+	// (RA value, RA dense index); a return whose popped RA matches the
+	// predicted value reuses the index without an address-map lookup. Purely
+	// an optimization — a mismatched or stale entry just falls back to the
+	// map, and a matched entry is always correct because the index was
+	// derived from the same address at predecode time. Not architectural
+	// state: the legacy interpreter ignores it.
+	rstack []retPred
+
 	// profiler, when enabled, attributes cycles to functions. It observes
 	// only control transfers, never the architectural state, so a profiled
 	// run is cycle-identical to an unprofiled one.
@@ -111,6 +132,12 @@ type Machine struct {
 
 	res Result
 	pub published
+}
+
+// retPred is one return-predictor entry (see Machine.rstack).
+type retPred struct {
+	addr uint64
+	idx  int32
 }
 
 // published remembers what PublishMetrics already exported, so repeated
@@ -138,6 +165,7 @@ func New(proc *rt.Process, prof *Profile) *Machine {
 	}
 	m.CPU.PC = proc.Img.Entry
 	m.CPU.R[isa.RSP] = proc.InitialRSP
+	m.Legacy = ForceLegacyDispatch.Load()
 	return m
 }
 
@@ -249,9 +277,37 @@ func (m *Machine) stopFault(pc uint64, f *mem.Fault) {
 // cases and accumulates across calls; err is non-nil only for
 // simulator-level problems (budget exhaustion, malformed images, division
 // by zero, heap exhaustion).
+//
+// Execution normally runs on the predecoded fast path (runFast, fast.go);
+// runLegacy is the reference per-instruction interpreter the fast path
+// must match observable-state-for-observable-state, and to which it
+// delegates the boundary cases (mid-block entry, budget or sampling
+// boundaries inside a block).
 func (m *Machine) Run(maxInstr uint64) (*Result, error) {
+	if code := m.Img.Code; code != nil && !m.Legacy {
+		return m.runFast(code, maxInstr)
+	}
+	return m.runLegacy(maxInstr)
+}
+
+// finish syncs derived result fields on any stop (halt, fault, trap, pause
+// or error) and returns the accumulated result.
+func (m *Machine) finish() *Result {
+	m.res.ICacheMisses = m.ic.misses
+	m.res.ICacheRefs = m.ic.accesses
+	m.res.MaxRSSBytes = m.Proc.Space.MaxRSSBytes()
+	m.res.Output = m.Proc.Output
+	m.res.ExitStatus = m.Proc.ExitStatus
+	if m.profiler != nil {
+		m.profiler.sync(m.res.Cycles)
+	}
+	return &m.res
+}
+
+func (m *Machine) runLegacy(maxInstr uint64) (*Result, error) {
 	img, prof, cpu := m.Img, m.Prof, &m.CPU
 	limit := m.res.Instructions + maxInstr
+	knobs := m.SampleEvery | m.FlushICacheEvery
 
 	curF := img.FuncAt(cpu.PC)
 	if curF == nil {
@@ -280,17 +336,7 @@ func (m *Machine) Run(maxInstr uint64) (*Result, error) {
 		return false
 	}
 
-	finish := func() *Result {
-		m.res.ICacheMisses = m.ic.misses
-		m.res.ICacheRefs = m.ic.accesses
-		m.res.MaxRSSBytes = m.Proc.Space.MaxRSSBytes()
-		m.res.Output = m.Proc.Output
-		m.res.ExitStatus = m.Proc.ExitStatus
-		if m.profiler != nil {
-			m.profiler.sync(m.res.Cycles)
-		}
-		return &m.res
-	}
+	finish := m.finish
 
 	for {
 		if m.res.Instructions >= limit {
@@ -325,12 +371,14 @@ func (m *Machine) Run(maxInstr uint64) (*Result, error) {
 
 		m.res.Instructions++
 		m.res.ClassInstr[in.Kind]++
-		if m.SampleEvery > 0 && m.res.Instructions%m.SampleEvery == 0 {
-			m.res.RSSSamples = append(m.res.RSSSamples, m.Proc.Space.RSSBytes())
-		}
-		if m.FlushICacheEvery > 0 && m.res.Instructions%m.FlushICacheEvery == 0 {
-			m.ic.flush()
-			m.lastLine = ^uint64(0)
+		if knobs != 0 {
+			if m.SampleEvery > 0 && m.res.Instructions%m.SampleEvery == 0 {
+				m.res.RSSSamples = append(m.res.RSSSamples, m.Proc.Space.RSSBytes())
+			}
+			if m.FlushICacheEvery > 0 && m.res.Instructions%m.FlushICacheEvery == 0 {
+				m.ic.flush()
+				m.lastLine = ^uint64(0)
+			}
 		}
 		cost := prof.Cost[in.Kind]
 		next := curIdx + 1
