@@ -30,7 +30,7 @@ test:
 # engine (worker pool + build cache); their tests — and the bench drivers
 # that fan cells through them — run under the race detector.
 test-race:
-	$(GO) test -race -timeout 300s ./internal/telemetry/ ./internal/sim/ ./internal/exec/ ./internal/bench/
+	$(GO) test -race -timeout 300s ./internal/telemetry/ ./internal/sim/ ./internal/exec/ ./internal/bench/ ./internal/incident/
 
 # Go micro-benchmarks plus one real harness run per label, each refreshing
 # the committed BENCH_<label>.json baseline (geomean overheads, cycle totals,
@@ -52,9 +52,13 @@ bench-vm:
 # recorded parameters and fail on any deterministic drift or >2x latency
 # growth. COMPARE_FLAGS=-compare-warn turns timing failures into warnings
 # (what CI uses, since its machines differ from the baseline recorder's).
+# DIAG=dir additionally writes each run's metrics snapshot and incident
+# timeline into dir/ — the forensic bundle CI uploads when the gate fails.
+DIAGFLAGS = $(if $(DIAG),-metrics-out $(DIAG)/$(1)-metrics.json -incidents-out $(DIAG)/$(1)-incidents.json)
 bench-compare: $(BIN)/r2cbench $(BIN)/r2cattack
-	$(BIN)/r2cbench $(COMPARE_FLAGS) -compare BENCH_figure6.json
-	$(BIN)/r2cattack $(COMPARE_FLAGS) -compare BENCH_table3.json
+	$(if $(DIAG),mkdir -p $(DIAG))
+	$(BIN)/r2cbench $(COMPARE_FLAGS) $(call DIAGFLAGS,figure6) -compare BENCH_figure6.json
+	$(BIN)/r2cattack $(COMPARE_FLAGS) $(call DIAGFLAGS,table3) -compare BENCH_table3.json
 
 # Diversity-audit smoke: 8 re-diversified builds of the attack victim under
 # full R2C, emitted as the machine-readable JSON report. CI runs this to keep
@@ -70,7 +74,7 @@ audit: $(BIN)/r2caudit
 # the fault-injection tests exercise watchdogs and stalls, and a regression
 # that reintroduces a real hang should fail the gate in minutes, not hours.
 check: build vet test
-	$(GO) test -race -timeout 300s ./internal/exec/ ./internal/telemetry/ ./internal/vm/ ./internal/pcode/
+	$(GO) test -race -timeout 300s ./internal/exec/ ./internal/telemetry/ ./internal/vm/ ./internal/pcode/ ./internal/incident/
 	$(GO) test -run=^$$ -bench=BenchmarkVM -benchtime=1x ./internal/vm/
 
 clean:

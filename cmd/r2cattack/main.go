@@ -8,7 +8,8 @@
 // Usage:
 //
 //	r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome]
-//	          [-listen ADDR] [-forensics] [-baseline FILE] [-compare FILE] [-compare-warn]
+//	          [-listen ADDR] [-forensics] [-flight N] [-incidents-out FILE] [-alert-rules FILE]
+//	          [-baseline FILE] [-compare FILE] [-compare-warn]
 //	          <table3|prob|sidechannel|ablations|aocr|all>
 package main
 
@@ -20,11 +21,13 @@ import (
 	"os/signal"
 	"strconv"
 	"syscall"
+	"time"
 
 	"r2c/internal/attack"
 	"r2c/internal/bench"
 	"r2c/internal/defense"
 	"r2c/internal/exec"
+	"r2c/internal/incident"
 	"r2c/internal/mvee"
 	"r2c/internal/perf"
 	"r2c/internal/telemetry"
@@ -43,7 +46,10 @@ func main() {
 	traceOut := flag.String("trace", "", "write structured events (traps, faults, probes, outcomes) and spans to FILE")
 	traceFormat := flag.String("trace-format", telemetry.TraceJSONL, "trace file format: jsonl or chrome (chrome://tracing / Perfetto)")
 	listen := flag.String("listen", "", "serve the live ops endpoint (/metrics, /healthz, /progress, /debug/pprof) on ADDR, e.g. :8642")
-	forensics := flag.Bool("forensics", false, "with table3: print the per-trial trap provenance table (which trap class caught each probe)")
+	forensics := flag.Bool("forensics", false, "with table3: print the per-trial trap provenance table (which trap class caught each probe) and the incident correlation summary")
+	flightCap := flag.Int("flight", 0, "per-process flight-recorder depth in events (0 = off; -forensics defaults to 64); recent control flow is attached to every incident record")
+	incidentsOut := flag.String("incidents-out", "", "write the incident timeline (trap/fault/divergence records with flight snapshots) as JSON to FILE on exit")
+	alertRules := flag.String("alert-rules", "", "evaluate the declarative alert rules in FILE against the metrics registry at exit (and live on /alerts); any firing rule fails the run")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog deadline (0 = none); hung cells fail instead of hanging the campaign")
 	cellFuel := flag.Uint64("cell-fuel", 0, "per-cell VM instruction allowance (0 = the default budget)")
 	retries := flag.Int("retries", 0, "re-attempts per failed cell, each with a seed derived from the cell's content key")
@@ -57,7 +63,7 @@ func main() {
 	perfNoise := flag.Float64("perf-noise", 0, "-compare timing noise threshold in percent (0 = default 100)")
 	perfNoiseDet := flag.Float64("perf-noise-det", 0, "-compare deterministic drift threshold in percent (0 = default 1)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-forensics] [-baseline FILE] [-compare FILE] [-compare-warn] <table3|prob|sidechannel|sidechannel-hardened|ablations|aocr|mvee|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-forensics] [-flight N] [-incidents-out FILE] [-alert-rules FILE] [-baseline FILE] [-compare FILE] [-compare-warn] <table3|prob|sidechannel|sidechannel-hardened|ablations|aocr|mvee|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -101,12 +107,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// -forensics implies a flight recorder: the provenance table is most
+	// useful with the control-flow tail that led to each detonation.
+	if *forensics && !setFlags["flight"] {
+		*flightCap = 64
+	}
+	// Alert rules are parsed before any work runs so a malformed file fails
+	// fast, like an unknown experiment name.
+	var rules []telemetry.AlertRule
+	if *alertRules != "" {
+		var err2 error
+		rules, err2 = telemetry.LoadAlertRules(*alertRules)
+		if err2 != nil {
+			fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err2)
+			os.Exit(2)
+		}
+	}
+
+	start := time.Now()
 	prov := perf.Collect()
 	sinks, err := telemetry.OpenSinksOpts(telemetry.SinkOptions{
 		MetricsOut:     *metricsOut,
 		TraceOut:       *traceOut,
 		TraceFormat:    *traceFormat,
-		EnsureRegistry: *listen != "" || *baselineOut != "" || *compare != "",
+		FlightCap:      *flightCap,
+		EnsureRegistry: *listen != "" || *baselineOut != "" || *compare != "" || *alertRules != "",
 		Meta:           prov.Meta(),
 	})
 	if err != nil {
@@ -119,6 +144,15 @@ func main() {
 	// restarts, persistent retries) to one compile+link each.
 	eng := exec.New(*jobs, sinks.Obs)
 	attack.UseBuildCache(eng.Cache)
+	// One incident log for the whole invocation: exec cells, attack
+	// scenarios and the MVEE demo all append to it, and the ops endpoint
+	// serves it live under /incidents.
+	var ilog *incident.Log
+	if *incidentsOut != "" || *forensics || *listen != "" || *alertRules != "" || *flightCap > 0 {
+		ilog = incident.NewLog()
+	}
+	eng.Incidents = ilog
+	attack.UseIncidentLog(ilog)
 	eng.CellTimeout = *cellTimeout
 	eng.CellFuel = *cellFuel
 	eng.Retries = *retries
@@ -150,7 +184,14 @@ func main() {
 	opt := bench.Options{Scale: 4, Runs: 1, Out: os.Stdout, Obs: sinks.Obs, Jobs: *jobs, Eng: eng, Ctx: ctx}
 	var ops *telemetry.OpsServer
 	if *listen != "" {
-		ops, err = telemetry.ServeOps(*listen, sinks.Obs.Reg(), func() any { return eng.Progress() })
+		ops, err = telemetry.ServeOpsSources(*listen, telemetry.OpsSources{
+			Registry:  sinks.Obs.Reg(),
+			Progress:  func() any { return eng.Progress() },
+			Incidents: func() any { return ilog.Timeline() },
+			Alerts: func() any {
+				return telemetry.EvalAlerts(rules, sinks.Obs.Reg().Snapshot(), time.Since(start))
+			},
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "r2cattack: %v\n", err)
 			os.Exit(1)
@@ -165,6 +206,7 @@ func main() {
 			rows, err := bench.Table3(opt, *trials, *overheads)
 			if err == nil && *forensics {
 				bench.PrintForensics(opt, rows)
+				incident.WriteSummary(os.Stdout, incident.Correlate(ilog.Records()))
 			}
 			return err
 		case "prob":
@@ -178,7 +220,7 @@ func main() {
 		case "aocr":
 			return aocrDemo(sinks.Obs)
 		case "mvee":
-			return mveeDemo()
+			return mveeDemo(ilog)
 		case "sidechannel-hardened":
 			return sideChannelHardened(sinks.Obs)
 		case "bruteforce":
@@ -229,6 +271,29 @@ func main() {
 			}
 		}
 	}
+	if *incidentsOut != "" {
+		f, ferr := os.Create(*incidentsOut)
+		if ferr == nil {
+			ferr = ilog.WriteJSON(f)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "r2cattack: incidents: %v\n", ferr)
+			exitCode = 1
+		} else {
+			fmt.Printf("[%d incident records written to %s]\n", ilog.Len(), *incidentsOut)
+		}
+	}
+	if len(rules) > 0 {
+		states := telemetry.EvalAlerts(rules, sinks.Obs.Reg().Snapshot(), time.Since(start))
+		telemetry.WriteAlertTable(os.Stdout, states)
+		if n := telemetry.FiringCount(states); n > 0 {
+			fmt.Fprintf(os.Stderr, "r2cattack: %d alert rule(s) firing\n", n)
+			exitCode = 1
+		}
+	}
 	fmt.Println(eng.Footer("r2cattack"))
 	// Shut the ops server down before the sinks so no scrape can race the
 	// final metrics snapshot; Close drains in-flight requests and joins the
@@ -258,12 +323,13 @@ func known(name string) bool {
 
 // mveeDemo runs the Section 7.3 MVEE extension: two R2C variants in
 // lockstep; a replicated memory corruption diverges and is detected.
-func mveeDemo() error {
+func mveeDemo(ilog *incident.Log) error {
 	fmt.Println("MVEE extension (Section 7.3): two diversified variants in lockstep")
 	e, err := mvee.New(attack.Victim(), defense.R2CFull(), 2, 42, vm.EPYCRome())
 	if err != nil {
 		return err
 	}
+	e.Incidents = ilog
 	v, err := e.Run(0, 0)
 	if err != nil {
 		return err
@@ -274,6 +340,7 @@ func mveeDemo() error {
 	if err != nil {
 		return err
 	}
+	e2.Incidents = ilog
 	img := e2.Variants[0].Proc.Img
 	e2.CorruptAll(img.DataSyms[attack.SymSecretKey].Addr, attack.MagicArg)
 	e2.CorruptAll(img.DataSyms[attack.SymAdminPtr].Addr, img.Funcs[attack.SymSecretFunc].Start)

@@ -14,7 +14,8 @@
 // Usage:
 //
 //	r2caudit [-config NAME] [-variants N] [-seed N] [-scale N] [-gadget-len N]
-//	         [-jobs N] [-json] [-metrics-out FILE] <workload>
+//	         [-jobs N] [-json] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome]
+//	         [-listen ADDR] <workload>
 package main
 
 import (
@@ -42,6 +43,9 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel builds (0 = GOMAXPROCS, 1 = serial); the report is identical at any width")
 	asJSON := flag.Bool("json", false, "emit the machine-readable JSON report instead of the text report")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (audit histograms and gauges) to FILE")
+	traceOut := flag.String("trace", "", "write structured events and pipeline spans to FILE")
+	traceFormat := flag.String("trace-format", telemetry.TraceJSONL, "trace file format: jsonl or chrome (chrome://tracing / Perfetto)")
+	listen := flag.String("listen", "", "serve the live ops endpoint (/metrics, /healthz, /progress, /debug/pprof) on ADDR, e.g. :8642")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: r2caudit [flags] <workload|victim|FILE.tir>")
 		flag.PrintDefaults()
@@ -61,15 +65,38 @@ func main() {
 		fatal(err)
 	}
 
-	obs := &telemetry.Observer{Registry: telemetry.NewRegistry()}
+	// The audit always publishes into a registry (its report aggregates
+	// registry histograms), so force one even with no file sink requested.
+	sinks, err := telemetry.OpenSinksOpts(telemetry.SinkOptions{
+		MetricsOut:     *metricsOut,
+		TraceOut:       *traceOut,
+		TraceFormat:    *traceFormat,
+		EnsureRegistry: true,
+		Meta:           perf.Collect().Meta(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	eng := exec.New(*jobs, sinks.Obs)
+	var ops *telemetry.OpsServer
+	if *listen != "" {
+		ops, err = telemetry.ServeOpsSources(*listen, telemetry.OpsSources{
+			Registry: sinks.Obs.Reg(),
+			Progress: func() any { return eng.Progress() },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[ops endpoint listening on %s]\n", ops.URL())
+	}
 	rep, err := audit.Run(audit.Options{
 		Module:    mod,
 		Cfg:       cfg,
 		Variants:  *variants,
 		BaseSeed:  *seed,
 		GadgetLen: *gadgetLen,
-		Eng:       exec.New(*jobs, obs),
-		Obs:       obs,
+		Eng:       eng,
+		Obs:       sinks.Obs,
 	})
 	if err != nil {
 		fatal(err)
@@ -83,17 +110,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := obs.Registry.WriteJSONMeta(f, perf.Collect().Meta()); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
+	// Ops server first, so no scrape can race the final metrics snapshot.
+	if err := ops.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "r2caudit: ops shutdown: %v\n", err)
+	}
+	if err := sinks.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome]
 //	         [-listen ADDR] [-profile] [-profile-format table|folded] [-cell-timeout D]
 //	         [-cell-fuel N] [-retries N] [-journal FILE] [-resume] [-faults PLAN]
+//	         [-flight N] [-incidents-out FILE] [-alert-rules FILE]
 //	         [-baseline FILE] [-compare FILE] [-compare-warn] <experiment>
 //
 // -baseline records the run's performance numbers as a committed baseline
@@ -30,6 +31,7 @@ import (
 
 	"r2c/internal/bench"
 	"r2c/internal/exec"
+	"r2c/internal/incident"
 	"r2c/internal/perf"
 	"r2c/internal/telemetry"
 )
@@ -86,8 +88,11 @@ func main() {
 	journalPath := flag.String("journal", "", "persist completed cell results to FILE (JSONL, keyed by build key + machine)")
 	resume := flag.Bool("resume", false, "replay cells already present in the journal instead of re-executing them (implies -journal "+defaultJournal+" unless set)")
 	faults := flag.String("faults", "", "fault-injection plan CELL[@ATTEMPT]:KIND,... with KIND one of build-fail, exec-fail, panic, stall, slow[=DURATION]; CELL may be * (testing aid)")
+	flightCap := flag.Int("flight", 0, "per-process flight-recorder depth in events (0 = off); recent control flow is attached to every incident record")
+	incidentsOut := flag.String("incidents-out", "", "write the incident timeline (trap/fault records with flight snapshots) as JSON to FILE on exit")
+	alertRules := flag.String("alert-rules", "", "evaluate the declarative alert rules in FILE against the metrics registry at exit (and live on /alerts); any firing rule fails the run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-profile] [-profile-format table|folded] [-cell-timeout D] [-cell-fuel N] [-retries N] [-journal FILE] [-resume] [-faults PLAN] [-baseline FILE] [-compare FILE] [-compare-warn] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-profile] [-profile-format table|folded] [-cell-timeout D] [-cell-fuel N] [-retries N] [-journal FILE] [-resume] [-faults PLAN] [-flight N] [-incidents-out FILE] [-alert-rules FILE] [-baseline FILE] [-compare FILE] [-compare-warn] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments:")
 		for _, n := range knownExperiments() {
 			fmt.Fprintf(os.Stderr, " %s", n)
@@ -166,16 +171,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Alert rules are parsed before any work runs so a malformed file fails
+	// fast, like an unknown experiment name.
+	var rules []telemetry.AlertRule
+	if *alertRules != "" {
+		var rerr error
+		rules, rerr = telemetry.LoadAlertRules(*alertRules)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "r2cbench: %v\n", rerr)
+			os.Exit(2)
+		}
+	}
+
+	invocationStart := time.Now()
 	prov := perf.Collect()
 	sinks, err := telemetry.OpenSinksOpts(telemetry.SinkOptions{
 		MetricsOut:  *metricsOut,
 		TraceOut:    *traceOut,
 		TraceFormat: *traceFormat,
 		Profile:     *profile,
+		FlightCap:   *flightCap,
 		// The ops endpoint serves /metrics from the registry, and baseline
 		// recording/comparison harvests one, so force a registry even when
 		// no file sink was requested.
-		EnsureRegistry: *listen != "" || *baselineOut != "" || *compare != "",
+		EnsureRegistry: *listen != "" || *baselineOut != "" || *compare != "" || *alertRules != "",
 		Meta:           prov.Meta(),
 	})
 	if err != nil {
@@ -187,6 +206,13 @@ func main() {
 	// shared baselines — hit the content-addressed build cache. The engine
 	// also carries the fault-tolerance policy every cell runs under.
 	eng := exec.New(*jobs, sinks.Obs)
+	// Perf runs normally see no incidents — any trap or fault during a
+	// measurement is itself a red flag the timeline should record.
+	var ilog *incident.Log
+	if *incidentsOut != "" || *listen != "" || *alertRules != "" || *flightCap > 0 {
+		ilog = incident.NewLog()
+	}
+	eng.Incidents = ilog
 	eng.CellTimeout = *cellTimeout
 	eng.CellFuel = *cellFuel
 	eng.Retries = *retries
@@ -216,7 +242,14 @@ func main() {
 
 	var ops *telemetry.OpsServer
 	if *listen != "" {
-		ops, err = telemetry.ServeOps(*listen, sinks.Obs.Reg(), func() any { return eng.Progress() })
+		ops, err = telemetry.ServeOpsSources(*listen, telemetry.OpsSources{
+			Registry:  sinks.Obs.Reg(),
+			Progress:  func() any { return eng.Progress() },
+			Incidents: func() any { return ilog.Timeline() },
+			Alerts: func() any {
+				return telemetry.EvalAlerts(rules, sinks.Obs.Reg().Snapshot(), time.Since(invocationStart))
+			},
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
 			os.Exit(1)
@@ -278,6 +311,29 @@ func main() {
 				fmt.Fprintf(os.Stderr, "r2cbench: performance regressed vs %s\n", *compare)
 				exitCode = 1
 			}
+		}
+	}
+	if *incidentsOut != "" {
+		f, ferr := os.Create(*incidentsOut)
+		if ferr == nil {
+			ferr = ilog.WriteJSON(f)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "r2cbench: incidents: %v\n", ferr)
+			exitCode = 1
+		} else {
+			fmt.Printf("[%d incident records written to %s]\n", ilog.Len(), *incidentsOut)
+		}
+	}
+	if len(rules) > 0 {
+		states := telemetry.EvalAlerts(rules, sinks.Obs.Reg().Snapshot(), time.Since(invocationStart))
+		telemetry.WriteAlertTable(os.Stdout, states)
+		if n := telemetry.FiringCount(states); n > 0 {
+			fmt.Fprintf(os.Stderr, "r2cbench: %d alert rule(s) firing\n", n)
+			exitCode = 1
 		}
 	}
 	fmt.Println(eng.Footer("r2cbench"))

@@ -9,6 +9,7 @@ import (
 	"r2c/internal/defense"
 	"r2c/internal/exec"
 	"r2c/internal/image"
+	"r2c/internal/incident"
 	"r2c/internal/isa"
 	"r2c/internal/rng"
 	"r2c/internal/rt"
@@ -57,6 +58,14 @@ type Scenario struct {
 	// -forensics flag renders. Collection reads only immutable link/load
 	// metadata, so it never perturbs the campaign.
 	Forensics []ForensicHit
+	// Campaign and Trial label this scenario's incident records: Campaign
+	// names the experiment ("" defaults to "attack/<config>"), Trial the
+	// Monte-Carlo trial index. Bench drivers set them right after
+	// construction; records fold deterministically either way because both
+	// are content, not timing.
+	Campaign string
+	Trial    int
+
 	// staleness implements re-randomizing defenses (TASR, CodeArmor):
 	// each primitive use advances time; leaked addresses expire after
 	// cfg.ReRandomizePeriod steps.
@@ -91,6 +100,32 @@ var buildCache atomic.Pointer[exec.Cache]
 // UseBuildCache routes all victim and reference builds through c. Pass the
 // engine's cache once at harness startup; a nil c restores direct builds.
 func UseBuildCache(c *exec.Cache) { buildCache.Store(c) }
+
+// incidentLog, when installed, receives an incident record for every
+// detection an attack scenario observes — probe-time BTDP detonations and
+// resume-time traps — with the victim's flight-recorder snapshot attached.
+// Same installable-global pattern as the build cache: the harness wires the
+// shared log once at startup, and scenarios constructed anywhere (bench
+// drivers, persistent-attack restarts) report into it.
+var incidentLog atomic.Pointer[incident.Log]
+
+// UseIncidentLog routes scenario detections into l; nil disables capture.
+func UseIncidentLog(l *incident.Log) { incidentLog.Store(l) }
+
+// campaign returns the scenario's incident-campaign label.
+func (s *Scenario) campaign() string {
+	if s.Campaign != "" {
+		return s.Campaign
+	}
+	return "attack/" + s.Cfg.Name
+}
+
+// noteIncident folds one detection into the installed incident log.
+func (s *Scenario) noteIncident(via string, ev rt.TrapEvent, instr uint64) {
+	if l := incidentLog.Load(); l != nil {
+		l.Add(incident.FromTrap(s.campaign(), s.Cfg.Name, s.baseSeed, s.Trial, via, s.Proc, ev, instr))
+	}
+}
 
 // victimModule returns the module scenarios are built from. With a build
 // cache installed the (immutable) victim module is shared across scenarios,
@@ -171,11 +206,18 @@ func (s *Scenario) Stale(l Leaked) bool {
 func (s *Scenario) Read(addr uint64) (Leaked, error) {
 	s.tick()
 	s.Obs.Counter("attack.probes", "op", "read").Inc()
+	// Attacker-surface probes go on the victim's flight record too, so an
+	// incident snapshot shows the reconnaissance sequence that led to the
+	// detonation. Attack time stands in for the instruction clock: the
+	// victim is paused while the attacker probes.
+	s.Proc.Flight.Record(telemetry.FlightProbe, 0, addr, uint64(s.now))
 	v, err := s.Proc.Space.Read64(addr)
 	if err != nil {
 		if s.Proc.IsGuardAddr(addr) {
 			s.Detections++
-			s.noteForensic("btdp-read", rt.TrapEvent{Kind: rt.TrapBTDP, Addr: addr})
+			ev := rt.TrapEvent{Kind: rt.TrapBTDP, Addr: addr}
+			s.noteForensic("btdp-read", ev)
+			s.noteIncident("probe", ev, 0)
 			s.Obs.Counter("attack.detections", "via", "btdp-read").Inc()
 			s.Obs.Emit("attack.detect", map[string]any{"via": "btdp-read", "addr": addr})
 			return Leaked{}, fmt.Errorf("attack: read %#x detonated a BTDP: %w", addr, err)
@@ -189,6 +231,7 @@ func (s *Scenario) Read(addr uint64) (Leaked, error) {
 func (s *Scenario) Write(addr, v uint64) error {
 	s.tick()
 	s.Obs.Counter("attack.probes", "op", "write").Inc()
+	s.Proc.Flight.Record(telemetry.FlightProbe, 0, addr, uint64(s.now))
 	return s.Proc.Space.Write64(addr, v)
 }
 
@@ -224,6 +267,7 @@ func (s *Scenario) Resume() Outcome {
 	res, err := s.Mach.Run(sim.DefaultBudget)
 	if res.Trap != nil {
 		s.noteForensic("resume", *res.Trap)
+		s.noteIncident("resume", *res.Trap, res.Instructions)
 	}
 	var o Outcome
 	switch {
@@ -246,6 +290,7 @@ func (s *Scenario) ResumeOutcomeOnly() Outcome {
 	res, err := s.Mach.Run(sim.DefaultBudget)
 	if res.Trap != nil {
 		s.noteForensic("resume", *res.Trap)
+		s.noteIncident("resume", *res.Trap, res.Instructions)
 	}
 	var o Outcome
 	switch {

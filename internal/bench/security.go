@@ -127,6 +127,10 @@ func Table3(opt Options, trials int, withOverheads bool) ([]MatrixRow, error) {
 				if err != nil {
 					return fmt.Errorf("%s/%s: %w", cfg.Name, a.name, err)
 				}
+				// Incident records correlate per (defense, attack) campaign
+				// with the Monte-Carlo trial index.
+				s.Campaign = "table3/" + cfg.Name + "/" + a.name
+				s.Trial = i
 				outcomes[i] = a.run(s)
 				evidence[i] = s.Forensics
 				return nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"r2c/internal/defense"
+	"r2c/internal/incident"
 	"r2c/internal/rt"
 	"r2c/internal/sim"
 	"r2c/internal/telemetry"
@@ -90,6 +91,13 @@ type Engine struct {
 	// content-addressed build key + machine profile; cells already
 	// journaled replay without executing (-resume).
 	Journal *Journal
+
+	// Incidents, when set, collects an incident record (trap provenance +
+	// flight-recorder snapshot) for every cell that stops on a trap or
+	// fault. Cells replayed from the journal never produce incidents: a
+	// replay has no process to snapshot, and the original run already
+	// recorded the incident.
+	Incidents *incident.Log
 
 	// prog backs Progress; batchSeq keys one "exec.batch" root span per
 	// RunCells call. Both are observational only.
@@ -396,7 +404,7 @@ func (e *Engine) runCellAttempt(ctx context.Context, i, attempt int, c *Cell, ke
 		case <-t.C:
 		}
 	}
-	res, err := e.runCell(actx, c, seed, sp, track)
+	res, err := e.runCell(actx, i, c, seed, sp, track)
 	if err != nil {
 		switch {
 		case errors.Is(err, vm.ErrFuelExhausted):
@@ -417,7 +425,7 @@ func (e *Engine) runCellAttempt(ctx context.Context, i, attempt int, c *Cell, ke
 // the attempt's context and the engine's fuel allowance. It is behaviorally
 // identical to Run when neither watchdog fires — the span and track
 // arguments only observe.
-func (e *Engine) runCell(ctx context.Context, c *Cell, seed uint64, sp *telemetry.Span, track func(phase string)) (*vm.Result, error) {
+func (e *Engine) runCell(ctx context.Context, i int, c *Cell, seed uint64, sp *telemetry.Span, track func(phase string)) (*vm.Result, error) {
 	imgStart := time.Now()
 	img, hit, err := e.Cache.ImageSpan(c.Module, c.Cfg, seed, sp, track)
 	if err != nil {
@@ -447,5 +455,18 @@ func (e *Engine) runCell(ctx context.Context, c *Cell, seed uint64, sp *telemetr
 	execStart := time.Now()
 	res, err := sim.ExecProcessSpanCtx(ctx, proc, c.Prof, e.Obs, sp, e.CellFuel)
 	e.Obs.LogHist("exec.phase.seconds", telemetry.LatencyScheme, "phase", "exec").Observe(time.Since(execStart).Seconds())
+	// Incident capture happens here, not in the caller: ExecProcessSpanCtx
+	// returns a non-nil result alongside its error on faults and traps, and
+	// this is the last point where result and process are both in scope
+	// (runCellAttempts drops the result on error).
+	if e.Incidents != nil && res != nil {
+		campaign := "exec/" + c.Module.Name
+		switch {
+		case res.Trap != nil:
+			e.Incidents.Add(incident.FromTrap(campaign, c.Cfg.Name, seed, i, "exec", proc, *res.Trap, res.Instructions))
+		case res.Fault != nil:
+			e.Incidents.Add(incident.FromFault(campaign, c.Cfg.Name, seed, i, "exec", proc, res.Fault.Addr, res.Instructions))
+		}
+	}
 	return res, err
 }

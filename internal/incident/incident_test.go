@@ -1,0 +1,226 @@
+package incident
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"r2c/internal/rt"
+)
+
+func trapRec(campaign string, seed uint64, trial int, pc, addr uint64) Record {
+	r := Record{
+		Campaign: campaign, Config: "r2c-full", Seed: seed, Trial: trial,
+		Kind: "trap", Via: "resume", PC: pc, Addr: addr, Instr: 1000,
+		Trap: "btra", Origin: "btra slot 3",
+	}
+	r.Seal()
+	return r
+}
+
+func TestSealContentDerived(t *testing.T) {
+	a := trapRec("c", 1, 0, 0x100, 0x200)
+	b := trapRec("c", 1, 0, 0x100, 0x200)
+	if a.ID == "" || a.ID != b.ID {
+		t.Fatalf("identical content must hash identically: %q vs %q", a.ID, b.ID)
+	}
+	c := trapRec("c", 1, 0, 0x100, 0x201)
+	if c.ID == a.ID {
+		t.Fatalf("different content must not collide: %q", c.ID)
+	}
+	// Flight frames are part of the content.
+	d := trapRec("c", 1, 0, 0x100, 0x200)
+	d.Flight = []FlightFrame{{Kind: "call", PC: 1, To: 2, Instr: 3}}
+	d.Seal()
+	if d.ID == a.ID {
+		t.Fatalf("flight snapshot must contribute to the ID")
+	}
+}
+
+func TestFromTrapFromFaultNilProcess(t *testing.T) {
+	r := FromTrap("camp", "cfg", 7, 2, "probe", nil, rt.TrapEvent{Kind: rt.TrapBTRA, PC: 0x123}, 0)
+	if r.Kind != "trap" || r.Trap == "" || r.ID == "" {
+		t.Fatalf("FromTrap(nil proc) = %+v", r)
+	}
+	f := FromFault("camp", "cfg", 7, 2, "exec", nil, 0xdead, 42)
+	if f.Kind != "fault" || f.Addr != 0xdead || f.Instr != 42 || f.ID == "" {
+		t.Fatalf("FromFault(nil proc) = %+v", f)
+	}
+}
+
+func TestLogNilSafe(t *testing.T) {
+	var l *Log
+	l.Add(Record{})
+	if l.Len() != 0 || l.Records() != nil {
+		t.Fatalf("nil log must be inert")
+	}
+	tl := l.Timeline()
+	if tl.Total != 0 {
+		t.Fatalf("nil log timeline total = %d", tl.Total)
+	}
+}
+
+func TestRecordsCanonicalOrder(t *testing.T) {
+	// Insertion order is adversarial: later campaigns, seeds and trials
+	// first. Records must come back content-sorted regardless.
+	l := NewLog()
+	l.Add(trapRec("b", 2, 1, 0x30, 0))
+	l.Add(trapRec("b", 1, 1, 0x20, 0))
+	l.Add(trapRec("a", 9, 0, 0x10, 0))
+	l.Add(trapRec("b", 1, 0, 0x40, 0))
+	recs := l.Records()
+	got := make([]string, len(recs))
+	for i, r := range recs {
+		got[i] = r.Campaign
+	}
+	want := []string{"a", "b", "b", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("campaign order = %v, want %v", got, want)
+		}
+	}
+	if recs[1].Seed != 1 || recs[1].Trial != 0 || recs[2].Trial != 1 || recs[3].Seed != 2 {
+		t.Fatalf("within-campaign order wrong: %+v", recs[1:])
+	}
+}
+
+func TestWriteJSONOrderIndependent(t *testing.T) {
+	// The acceptance property behind -jobs determinism: two logs fed the
+	// same records in different arrival orders serialize byte-identically.
+	recs := []Record{
+		trapRec("t3/rop", 1, 0, 0x100, 0x1000),
+		trapRec("t3/rop", 1, 1, 0x110, 0x2000),
+		trapRec("t3/aocr", 2, 0, 0x120, 0x3000),
+	}
+	a, b := NewLog(), NewLog()
+	for _, r := range recs {
+		a.Add(r)
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		b.Add(recs[i])
+	}
+	var ba, bb bytes.Buffer
+	if err := a.WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("timeline JSON depends on arrival order:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+	var tl Timeline
+	if err := json.Unmarshal(ba.Bytes(), &tl); err != nil {
+		t.Fatalf("timeline JSON does not round-trip: %v", err)
+	}
+	if tl.Total != 3 || len(tl.Campaigns) != 2 {
+		t.Fatalf("timeline = total %d, %d campaigns", tl.Total, len(tl.Campaigns))
+	}
+}
+
+// probeRecord builds one record whose flight snapshot probes the given
+// addresses at 1000-instruction intervals.
+func probeRecord(campaign string, trial int, addrs ...uint64) Record {
+	r := Record{Campaign: campaign, Config: "r2c-full", Seed: uint64(trial), Trial: trial, Kind: "trap", Trap: "btdp"}
+	for i, a := range addrs {
+		r.Flight = append(r.Flight, FlightFrame{Kind: "probe", To: a, Instr: uint64(1000 * (i + 1))})
+	}
+	r.Seal()
+	return r
+}
+
+func TestClassifyPatterns(t *testing.T) {
+	cases := []struct {
+		name string
+		recs []Record
+		want string
+	}{
+		{"sparse", []Record{probeRecord("c", 0, 0x1000, 0x2000)}, "sparse"},
+		{"linear-scan", []Record{probeRecord("c", 0, 0x1000, 0x2000, 0x3000, 0x4000, 0x5000, 0x6000)}, "linear-scan"},
+		{"clustered", []Record{probeRecord("c", 0, 0x5000, 0x5040, 0x50c0, 0x5100, 0x5110, 0x9000)}, "clustered"},
+		{"mixed", []Record{probeRecord("c", 0, 0x1000, 0x3000, 0x2000, 0x9000, 0x20000, 0x100)}, "mixed"},
+	}
+	// Crash-restart: many incidents, one probe point (the faulting address)
+	// each — every observation costs the attacker a crash.
+	var crash []Record
+	for i := 0; i < 8; i++ {
+		r := Record{Campaign: "c", Seed: uint64(i), Trial: i, Kind: "fault", Addr: 0x7000 + uint64(i)*8}
+		r.Seal()
+		crash = append(crash, r)
+	}
+	cases = append(cases, struct {
+		name string
+		recs []Record
+		want string
+	}{"crash-restart", crash, "crash-restart"})
+
+	for _, tc := range cases {
+		sums := Correlate(tc.recs)
+		if len(sums) != 1 {
+			t.Fatalf("%s: %d campaigns", tc.name, len(sums))
+		}
+		if sums[0].Pattern != tc.want {
+			t.Errorf("%s: pattern = %q, want %q", tc.name, sums[0].Pattern, tc.want)
+		}
+	}
+}
+
+func TestCorrelateSummaries(t *testing.T) {
+	l := NewLog()
+	l.Add(probeRecord("beta", 0, 0x1000, 0x2000, 0x3000, 0x4000))
+	l.Add(probeRecord("beta", 1, 0x1000, 0x2000, 0x3000, 0x4000))
+	r := trapRec("alpha", 1, 0, 0x100, 0x200)
+	l.Add(r)
+	f := FromFault("alpha", "r2c-full", 2, 1, "exec", nil, 0x300, 7)
+	l.Add(f)
+
+	sums := Correlate(l.Records())
+	if len(sums) != 2 || sums[0].Campaign != "alpha" || sums[1].Campaign != "beta" {
+		t.Fatalf("campaigns = %+v", sums)
+	}
+	a := sums[0]
+	if a.Incidents != 2 || a.Trials != 2 {
+		t.Fatalf("alpha = %+v", a)
+	}
+	wantKinds := map[string]int{"trap": 1, "fault": 1}
+	for _, kc := range a.ByKind {
+		if wantKinds[kc.Kind] != kc.Count {
+			t.Fatalf("alpha kinds = %+v", a.ByKind)
+		}
+		delete(wantKinds, kc.Kind)
+	}
+	if len(wantKinds) != 0 {
+		t.Fatalf("missing kinds: %v", wantKinds)
+	}
+	if len(a.ByOrigin) != 1 || a.ByOrigin[0].Kind != "btra slot 3" {
+		t.Fatalf("alpha origins = %+v", a.ByOrigin)
+	}
+
+	b := sums[1]
+	if b.ProbeEvents != 8 || b.ProbeRate != 4 {
+		t.Fatalf("beta probes = %d rate %v", b.ProbeEvents, b.ProbeRate)
+	}
+	// Within each record the probes are 1000 instructions apart; the
+	// cross-record gap (4000 -> 1000) folds in as |delta| = 3000.
+	if b.Gaps.Count != 7 || b.Gaps.P50 <= 0 || b.Gaps.Mean <= 0 {
+		t.Fatalf("beta gaps = %+v", b.Gaps)
+	}
+}
+
+func TestWriteSummaryRenders(t *testing.T) {
+	sums := Correlate([]Record{probeRecord("t3/r2c/rop", 0, 0x1000, 0x2000, 0x3000, 0x4000)})
+	var buf bytes.Buffer
+	WriteSummary(&buf, sums)
+	out := buf.String()
+	for _, want := range []string{"incident correlation", "t3/r2c/rop", "linear-scan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	var empty bytes.Buffer
+	WriteSummary(&empty, nil)
+	if empty.Len() != 0 {
+		t.Fatalf("empty summary must render nothing, got %q", empty.String())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"r2c/internal/defense"
+	"r2c/internal/incident"
 	"r2c/internal/rt"
 	"r2c/internal/sim"
 	"r2c/internal/tir"
@@ -35,6 +36,15 @@ type Variant struct {
 type Engine struct {
 	Variants []*Variant
 	prof     *vm.Profile
+
+	// Incidents, when set, receives one record per detection signal a
+	// supervised run raises: each variant's trap, and the divergence
+	// verdict itself (the MVEE-only signal the paper's Section 7.3 argues
+	// complements R2C's reactive traps).
+	Incidents *incident.Log
+
+	// Campaign labels emitted incident records ("" defaults to "mvee").
+	Campaign string
 }
 
 // New builds n variants of module m under cfg with seeds baseSeed,
@@ -118,6 +128,10 @@ func (e *Engine) Run(sliceInstrs, maxSlices int) (*Verdict, error) {
 		}
 		if r.Trap != nil {
 			v.Trapped = true
+			if e.Incidents != nil {
+				va := e.Variants[i]
+				e.Incidents.Add(incident.FromTrap(e.campaign(), va.Proc.Cfg.Name, va.Seed, i, "mvee", va.Proc, *r.Trap, r.Instructions))
+			}
 		}
 	}
 
@@ -127,10 +141,28 @@ func (e *Engine) Run(sliceInstrs, maxSlices int) (*Verdict, error) {
 		if diff := compare(base, r); diff != "" {
 			v.Diverged = true
 			v.Reason = fmt.Sprintf("variant %d vs 0: %s", i+1, diff)
+			if e.Incidents != nil {
+				va := e.Variants[i+1]
+				rec := incident.Record{
+					Campaign: e.campaign(), Config: va.Proc.Cfg.Name,
+					Seed: va.Seed, Trial: i + 1,
+					Kind: "divergence", Via: "mvee",
+					Origin: v.Reason, Instr: r.Instructions,
+				}
+				rec.Seal()
+				e.Incidents.Add(rec)
+			}
 			return v, nil
 		}
 	}
 	return v, nil
+}
+
+func (e *Engine) campaign() string {
+	if e.Campaign != "" {
+		return e.Campaign
+	}
+	return "mvee"
 }
 
 func compare(a, b *vm.Result) string {

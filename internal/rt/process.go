@@ -93,14 +93,29 @@ type Process struct {
 	// Nil disables telemetry; every use is nil-safe.
 	Obs *telemetry.Observer
 
+	// Flight is the control-flow flight recorder the VM dispatch loops feed
+	// (calls, returns, jumps, loads near guard pages). Nil — the default —
+	// disables recording; it is attached when the observer configures a
+	// nonzero FlightCap, and armed with the BTDP guard-page geometry so
+	// near-guard loads are captured. On a trap the ring is snapshotted into
+	// an incident record.
+	Flight *telemetry.FlightRecorder
+
 	// InitialRSP is the stack pointer at entry.
 	InitialRSP uint64
 
 	// trapRing retains the most recent trap events (capped so long attack
-	// campaigns cannot balloon memory); trapTotal counts every detonation.
-	trapRing  []TrapEvent
-	trapHead  int
-	trapTotal uint64
+	// campaigns cannot balloon memory); trapTotal counts every detonation
+	// and trapDropped how many events the cap overwrote.
+	trapRing    []TrapEvent
+	trapHead    int
+	trapTotal   uint64
+	trapDropped uint64
+
+	// lastFaultPC remembers the PC of the most recent NoteFault, so
+	// incident records can attribute a fault to its faulting instruction
+	// (vm.Result carries only the mem.Fault, not the PC).
+	lastFaultPC uint64
 
 	rnd *rng.RNG
 }
@@ -159,6 +174,14 @@ func NewProcessObserved(img *image.Image, seed uint64, obs *telemetry.Observer) 
 		if err := p.runBTDPConstructor(); err != nil {
 			return nil, fmt.Errorf("rt: btdp constructor: %w", err)
 		}
+	}
+
+	// Attach the flight recorder after the constructor, so its guard-zone
+	// filter sees the final guard-page layout. Capacity 0 leaves Flight nil
+	// and the VM hooks dormant.
+	if cap := obs.FlightRecorderCap(); cap > 0 {
+		p.Flight = telemetry.NewFlightRecorder(cap)
+		p.Flight.ArmGuards(p.GuardPages, mem.PageSize)
 	}
 	return p, nil
 }
@@ -330,9 +353,17 @@ func (p *Process) RecordTrap(ev TrapEvent) {
 	if len(p.trapRing) < TrapRingCap {
 		p.trapRing = append(p.trapRing, ev)
 	} else {
+		// The cap overwrites the oldest retained event; account for the
+		// loss so long campaigns can't silently eat forensic evidence.
+		p.trapDropped++
+		p.Obs.Counter("rt.traps.dropped").Inc()
 		p.trapRing[p.trapHead] = ev
 		p.trapHead = (p.trapHead + 1) % TrapRingCap
 	}
+	// The detonation itself goes on the flight record. Instr stays 0: the
+	// fast path calls stopFault before its block rollback, so a live
+	// instruction count here would differ between dispatch engines.
+	p.Flight.Record(telemetry.FlightTrap, ev.PC, ev.Addr, 0)
 	p.Obs.Counter("rt.traps", "kind", ev.Kind.String()).Inc()
 	if p.Obs != nil && p.Obs.Tracer != nil {
 		// Resolve defense provenance only when an event sink is listening:
@@ -386,12 +417,24 @@ func (p *Process) LastTrap() *TrapEvent {
 // TrapCount returns the total number of detonations ever recorded.
 func (p *Process) TrapCount() uint64 { return p.trapTotal }
 
+// DroppedTraps returns how many trap events the ring cap overwrote — the
+// evidence TrapRingCap discarded (also exported as the rt.traps.dropped
+// counter).
+func (p *Process) DroppedTraps() uint64 { return p.trapDropped }
+
+// LastFaultPC returns the PC of the most recent fault NoteFault saw, or 0
+// when no fault occurred.
+func (p *Process) LastFaultPC() uint64 { return p.lastFaultPC }
+
 // NoteFault streams a memory-fault event; the VM calls it for every fault
 // that stops execution, before booby-trap classification.
 func (p *Process) NoteFault(pc uint64, f *mem.Fault) {
 	if f == nil {
 		return
 	}
+	p.lastFaultPC = pc
+	// Instr stays 0 for dispatch-engine parity; see RecordTrap.
+	p.Flight.Record(telemetry.FlightFault, pc, f.Addr, 0)
 	p.Obs.Counter("rt.faults", "access", f.Access.String()).Inc()
 	p.Obs.Emit("fault", map[string]any{
 		"pc": pc, "addr": f.Addr, "access": f.Access.String(), "unmapped": f.Unmapped,

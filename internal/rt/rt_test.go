@@ -258,3 +258,84 @@ func TestTrapRingBoundsGrowth(t *testing.T) {
 		t.Fatalf("telemetry counter %s = %d, want %d", key, got, n)
 	}
 }
+
+// Once the ring overwrites, every overwrite must be accounted: the dropped
+// counter (and its registry mirror) is the signal that forensic evidence was
+// lost to ring pressure.
+func TestDroppedTrapsAccounting(t *testing.T) {
+	p := buildProcess(t, defense.R2CFull(), 5)
+	reg := telemetry.NewRegistry()
+	p.Obs = &telemetry.Observer{Registry: reg}
+
+	const extra = 9
+	for i := 0; i < TrapRingCap+extra; i++ {
+		p.RecordTrap(TrapEvent{Kind: TrapBTRA, PC: uint64(i)})
+	}
+	if got := p.DroppedTraps(); got != extra {
+		t.Fatalf("DroppedTraps = %d, want %d", got, extra)
+	}
+	key := telemetry.Key("rt.traps.dropped")
+	if got := reg.Snapshot().Counters[key]; got != extra {
+		t.Fatalf("counter %s = %d, want %d", key, got, extra)
+	}
+	// Under the cap no drops are charged.
+	p2 := buildProcess(t, defense.R2CFull(), 5)
+	p2.RecordTrap(TrapEvent{Kind: TrapBTRA, PC: 1})
+	if got := p2.DroppedTraps(); got != 0 {
+		t.Fatalf("DroppedTraps under cap = %d", got)
+	}
+}
+
+// An observer with FlightCap attaches a recorder at load time, armed with
+// the process's guard pages; trap and fault events stream onto it.
+func TestFlightRecorderAttachesAndArms(t *testing.T) {
+	mb := tir.NewModule("rttest")
+	mb.AddGlobal("g", 8, 42)
+	main := mb.NewFunc("main", 0)
+	main.Output(main.Const(1))
+	main.RetVoid()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+	prog, err := codegen.Compile(m, defense.R2CFull(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := image.Link(prog, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &telemetry.Observer{Registry: telemetry.NewRegistry(), FlightCap: 32}
+	p, err := NewProcessObserved(img, 21, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Flight == nil || p.Flight.Cap() != 32 {
+		t.Fatalf("flight recorder not attached: %+v", p.Flight)
+	}
+	if len(p.GuardPages) == 0 {
+		t.Fatal("r2c-full process kept no guard pages")
+	}
+	if !p.Flight.NearGuard(p.GuardPages[0] + 8) {
+		t.Fatal("recorder not armed with the process's guard pages")
+	}
+
+	p.RecordTrap(TrapEvent{Kind: TrapBTDP, PC: 0x100, Addr: p.GuardPages[0]})
+	p.NoteFault(0x200, &mem.Fault{Addr: 0xdead, Access: mem.AccessRead, Unmapped: true})
+	if p.LastFaultPC() != 0x200 {
+		t.Fatalf("LastFaultPC = %#x", p.LastFaultPC())
+	}
+	evs := p.Flight.Events()
+	if len(evs) != 2 || evs[0].Kind != telemetry.FlightTrap || evs[1].Kind != telemetry.FlightFault {
+		t.Fatalf("flight events = %+v", evs)
+	}
+
+	// Without FlightCap no recorder attaches and every hook is a no-op.
+	p0, err := NewProcessObserved(img, 21, &telemetry.Observer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Flight != nil {
+		t.Fatal("recorder attached without FlightCap")
+	}
+	p0.NoteFault(0x300, &mem.Fault{Addr: 1, Access: mem.AccessRead})
+}

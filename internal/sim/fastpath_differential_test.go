@@ -250,3 +250,77 @@ func TestFastPathPipelineParity(t *testing.T) {
 		t.Errorf("printed tables diverge:\n--- legacy/serial ---\n%s--- fast/parallel ---\n%s", lOut, fOut)
 	}
 }
+
+// TestFastPathFlightRecorderParity requires the control-flow flight recorder
+// to capture the identical event stream under both interpreters — same
+// kinds, PCs, targets, and retired-instruction stamps — on a benign workload
+// and on a run that detonates a booby trap. The fast path charges whole
+// blocks up front, so any drift in its per-event instruction accounting
+// shows up here.
+func TestFastPathFlightRecorderParity(t *testing.T) {
+	b, _ := workload.ByName("nginx")
+	m := b.Build(16)
+	for _, cfg := range []defense.Config{defense.Off(), defense.R2CFull()} {
+		run := func(legacy bool) (uint64, []telemetry.FlightEvent) {
+			vm.ForceLegacyDispatch.Store(legacy)
+			defer vm.ForceLegacyDispatch.Store(false)
+			obs := &telemetry.Observer{Registry: telemetry.NewRegistry(), FlightCap: 512}
+			_, proc, err := sim.RunObserved(m, cfg, 7, vm.EPYCRome(), obs)
+			if err != nil {
+				t.Fatalf("%s legacy=%v: %v", cfg.Name, legacy, err)
+			}
+			if proc.Flight == nil {
+				t.Fatalf("%s legacy=%v: no flight recorder attached", cfg.Name, legacy)
+			}
+			return proc.Flight.Total(), proc.Flight.Events()
+		}
+		lt, le := run(true)
+		ft, fe := run(false)
+		if lt == 0 {
+			t.Fatalf("%s: flight recorder captured nothing", cfg.Name)
+		}
+		if lt != ft {
+			t.Fatalf("%s: flight totals diverge: legacy %d, fast %d", cfg.Name, lt, ft)
+		}
+		if !reflect.DeepEqual(le, fe) {
+			for i := range le {
+				if i < len(fe) && le[i] != fe[i] {
+					t.Logf("%s: first divergence at %d: legacy %+v, fast %+v", cfg.Name, i, le[i], fe[i])
+					break
+				}
+			}
+			t.Fatalf("%s: flight events diverge (legacy %d, fast %d events)", cfg.Name, len(le), len(fe))
+		}
+	}
+
+	// Trap leg: the attack scenario's corrupted resume must leave identical
+	// flight tails, including the probe and trap events.
+	runTrap := func(legacy bool) []telemetry.FlightEvent {
+		vm.ForceLegacyDispatch.Store(legacy)
+		defer vm.ForceLegacyDispatch.Store(false)
+		obs := &telemetry.Observer{Registry: telemetry.NewRegistry(), FlightCap: 256}
+		s, err := attack.NewScenarioObserved(defense.CFIShadowStack(), 3, obs)
+		if err != nil {
+			t.Fatalf("legacy=%v: scenario: %v", legacy, err)
+		}
+		cands, err := s.RACandidates()
+		if err != nil || len(cands) != 1 {
+			t.Fatalf("legacy=%v: RA candidates: %d, %v", legacy, len(cands), err)
+		}
+		other := s.Proc.Img.Funcs[attack.SymLogHandler].Start
+		if err := s.Write(cands[0].Addr, other); err != nil {
+			t.Fatalf("legacy=%v: write: %v", legacy, err)
+		}
+		if o := s.ResumeOutcomeOnly(); o != attack.Detected {
+			t.Fatalf("legacy=%v: outcome %v, want detected", legacy, o)
+		}
+		return s.Proc.Flight.Events()
+	}
+	l, f := runTrap(true), runTrap(false)
+	if len(l) == 0 {
+		t.Fatal("trap run captured no flight events")
+	}
+	if !reflect.DeepEqual(l, f) {
+		t.Fatalf("trap-run flight events diverge\nlegacy: %+v\nfast:   %+v", l, f)
+	}
+}

@@ -41,6 +41,10 @@ type SinkOptions struct {
 	// Meta is the provenance header stamped into the -metrics-out snapshot
 	// (go version, GOOS/GOARCH, CPU count, git describe); nil omits it.
 	Meta map[string]string
+	// FlightCap is the -flight value: per-process flight-recorder capacity
+	// in events (0 disables). A nonzero cap forces a live Observer so every
+	// process the run creates carries a recorder.
+	FlightCap int
 }
 
 // Sinks owns the file sinks behind the standard telemetry flags. A Sinks
@@ -69,7 +73,7 @@ func OpenSinks(metricsOut, traceOut string, profile bool) (*Sinks, error) {
 // than after minutes of work. The caller must Close the result.
 func OpenSinksOpts(o SinkOptions) (*Sinks, error) {
 	s := &Sinks{}
-	if o.MetricsOut == "" && o.TraceOut == "" && !o.Profile && !o.EnsureRegistry {
+	if o.MetricsOut == "" && o.TraceOut == "" && !o.Profile && !o.EnsureRegistry && o.FlightCap <= 0 {
 		return s, nil
 	}
 	switch o.TraceFormat {
@@ -77,7 +81,7 @@ func OpenSinksOpts(o SinkOptions) (*Sinks, error) {
 	default:
 		return nil, fmt.Errorf("telemetry: unknown trace format %q (want %s or %s)", o.TraceFormat, TraceJSONL, TraceChrome)
 	}
-	obs := &Observer{Registry: NewRegistry(), ProfileFuncs: o.Profile}
+	obs := &Observer{Registry: NewRegistry(), ProfileFuncs: o.Profile, FlightCap: o.FlightCap}
 	if o.MetricsOut != "" {
 		f, err := os.Create(o.MetricsOut)
 		if err != nil {

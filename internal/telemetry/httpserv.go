@@ -28,13 +28,57 @@ type OpsServer struct {
 	serveErr error
 }
 
+// OpsSources names the data sources behind the ops endpoints. Registry
+// backs /metrics; each func() any backs one JSON endpoint (nil funcs serve
+// "{}"). The funcs keep this package dependency-free: the harness wires in
+// exec progress, the incident log and live alert evaluation as closures, so
+// telemetry never imports the packages it observes.
+type OpsSources struct {
+	Registry  *Registry
+	Progress  func() any // /progress — exec engine progress snapshot
+	Incidents func() any // /incidents — incident timeline + campaign summaries
+	Alerts    func() any // /alerts — live alert-rule evaluation
+}
+
 // ServeOps starts the ops endpoint on addr (e.g. ":8642" or "127.0.0.1:0").
 // reg backs /metrics (nil serves an empty exposition); progress backs
-// /progress (nil serves "{}"; the returned value is marshaled as JSON). The
+// /progress (nil serves "{}"; the returned value is marshaled as JSON).
+// It is ServeOpsSources with only the pre-PR-8 sources wired.
+func ServeOps(addr string, reg *Registry, progress func() any) (*OpsServer, error) {
+	return ServeOpsSources(addr, OpsSources{Registry: reg, Progress: progress})
+}
+
+// jsonSource returns a handler serving src's value as indented JSON.
+// Marshal happens before writing headers: a snapshot carrying a non-finite
+// float (+Inf ETA, NaN quantile and friends) is not valid JSON, and
+// encoding straight into the ResponseWriter would send a 200 with a
+// silently truncated body. Sources are expected to pre-render such values
+// (see FormatETA); if one slips through, report it.
+func jsonSource(src func() any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var v any = struct{}{}
+		if src != nil {
+			v = src()
+		}
+		body, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(body, '\n'))
+	}
+}
+
+// ServeOpsSources starts the ops endpoint with the full PR 8 source set:
+// /metrics, /healthz, /progress, /incidents (the security observatory's
+// incident timeline), /alerts (live alert-rule evaluation) and pprof. The
 // listener is opened eagerly so a bad address fails before the run starts.
 // The caller must Close the server; Close is graceful and waits for the
 // serve goroutine, so no goroutine outlives it.
-func ServeOps(addr string, reg *Registry, progress func() any) (*OpsServer, error) {
+func ServeOpsSources(addr string, src OpsSources) (*OpsServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: ops listen %s: %w", addr, err)
@@ -47,28 +91,11 @@ func ServeOps(addr string, reg *Registry, progress func() any) (*OpsServer, erro
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WritePrometheus(w, reg.Snapshot())
+		WritePrometheus(w, src.Registry.Snapshot())
 	})
-	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
-		var v any = struct{}{}
-		if progress != nil {
-			v = progress()
-		}
-		// Marshal before writing headers: a snapshot carrying a
-		// non-finite float (+Inf ETA and friends) is not valid JSON, and
-		// encoding straight into the ResponseWriter would send a 200 with
-		// a silently truncated body. Sources are expected to pre-render
-		// such values (see FormatETA); if one slips through, report it.
-		body, err := json.MarshalIndent(v, "", "  ")
-		if err != nil {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusInternalServerError)
-			fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(append(body, '\n'))
-	})
+	mux.HandleFunc("/progress", jsonSource(src.Progress))
+	mux.HandleFunc("/incidents", jsonSource(src.Incidents))
+	mux.HandleFunc("/alerts", jsonSource(src.Alerts))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

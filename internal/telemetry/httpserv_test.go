@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -170,5 +171,76 @@ func TestOpsServerShutdownLeaksNoGoroutines(t *testing.T) {
 			t.Fatalf("goroutines leaked: baseline %d, after close %d", baseline, runtime.NumGoroutine())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The observatory endpoints: /incidents and /alerts serve whatever their
+// source closures return, as JSON; nil sources degrade to "{}" like
+// /progress; a source yielding unmarshalable values (NaN) reports a 500 with
+// an error body instead of a truncated response.
+func TestOpsServerSourcesEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rt.traps", "kind", "btra").Add(2)
+	s, err := ServeOpsSources("127.0.0.1:0", OpsSources{
+		Registry:  reg,
+		Incidents: func() any { return map[string]any{"total": 2, "campaigns": []string{"t3"}} },
+		Alerts: func() any {
+			rules, perr := ParseAlertRules(strings.NewReader("traps: count(rt.traps) >= 1\n"))
+			if perr != nil {
+				t.Error(perr)
+			}
+			return EvalAlerts(rules, reg.Snapshot(), time.Second)
+		},
+	})
+	if err != nil {
+		t.Fatalf("ServeOpsSources: %v", err)
+	}
+	defer s.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	defer client.CloseIdleConnections()
+
+	code, body := opsGet(t, client, s.URL()+"/incidents")
+	if code != 200 {
+		t.Fatalf("/incidents = %d", code)
+	}
+	var inc map[string]any
+	if err := json.Unmarshal([]byte(body), &inc); err != nil {
+		t.Fatalf("/incidents not JSON: %v\n%s", err, body)
+	}
+	if inc["total"] != float64(2) {
+		t.Errorf("/incidents = %v", inc)
+	}
+
+	code, body = opsGet(t, client, s.URL()+"/alerts")
+	if code != 200 {
+		t.Fatalf("/alerts = %d", code)
+	}
+	var states []AlertState
+	if err := json.Unmarshal([]byte(body), &states); err != nil {
+		t.Fatalf("/alerts not JSON: %v\n%s", err, body)
+	}
+	if len(states) != 1 || !states[0].Firing {
+		t.Errorf("/alerts = %+v", states)
+	}
+
+	// /progress was not wired: it must still answer, with the empty object.
+	if code, body := opsGet(t, client, s.URL()+"/progress"); code != 200 || !strings.Contains(body, "{}") {
+		t.Errorf("/progress with nil source = %d %q", code, body)
+	}
+}
+
+func TestOpsServerSourceMarshalError(t *testing.T) {
+	s, err := ServeOpsSources("127.0.0.1:0", OpsSources{
+		Incidents: func() any { return map[string]float64{"bad": math.NaN()} },
+	})
+	if err != nil {
+		t.Fatalf("ServeOpsSources: %v", err)
+	}
+	defer s.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	defer client.CloseIdleConnections()
+	code, body := opsGet(t, client, s.URL()+"/incidents")
+	if code != http.StatusInternalServerError || !strings.Contains(body, "error") {
+		t.Errorf("/incidents with NaN source = %d %q", code, body)
 	}
 }

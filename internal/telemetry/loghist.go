@@ -192,11 +192,28 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return s.Bounds[len(s.Bounds)-1]
 }
 
+// BucketMismatchError reports an attempt to merge two histogram snapshots
+// whose bucket schemes differ — either a different bound count or a
+// differing bound value. Bucket is -1 for a length mismatch, otherwise the
+// index of the first differing bound.
+type BucketMismatchError struct {
+	LenA, LenB int     // bound counts of the two snapshots
+	Bucket     int     // first differing bound index, or -1 for a length mismatch
+	A, B       float64 // the differing bound values (zero for a length mismatch)
+}
+
+func (e *BucketMismatchError) Error() string {
+	if e.Bucket < 0 {
+		return fmt.Sprintf("telemetry: merge of histograms with %d vs %d bounds", e.LenA, e.LenB)
+	}
+	return fmt.Sprintf("telemetry: merge of histograms with different bounds at bucket %d (%v vs %v)", e.Bucket, e.A, e.B)
+}
+
 // Merge returns the bucket-wise sum of two snapshots. Merging is
 // commutative and associative on the counts (uint64 adds); the float Sum
 // adds in argument order, so fold snapshots in a fixed order when
 // bit-identical output matters. Snapshots with different bounds cannot be
-// merged losslessly and return an error.
+// merged losslessly and return a *BucketMismatchError.
 func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
 	if len(o.Bounds) == 0 && o.Count == 0 {
 		return s.clone(), nil
@@ -205,11 +222,11 @@ func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error)
 		return o.clone(), nil
 	}
 	if len(s.Bounds) != len(o.Bounds) {
-		return HistogramSnapshot{}, fmt.Errorf("telemetry: merge of histograms with %d vs %d bounds", len(s.Bounds), len(o.Bounds))
+		return HistogramSnapshot{}, &BucketMismatchError{LenA: len(s.Bounds), LenB: len(o.Bounds), Bucket: -1}
 	}
 	for i := range s.Bounds {
 		if s.Bounds[i] != o.Bounds[i] {
-			return HistogramSnapshot{}, fmt.Errorf("telemetry: merge of histograms with different bounds at bucket %d (%v vs %v)", i, s.Bounds[i], o.Bounds[i])
+			return HistogramSnapshot{}, &BucketMismatchError{LenA: len(s.Bounds), LenB: len(o.Bounds), Bucket: i, A: s.Bounds[i], B: o.Bounds[i]}
 		}
 	}
 	out := s.clone()

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"errors"
 	"math"
 	"net/http"
 	"reflect"
@@ -273,5 +274,91 @@ func TestLogHistPrometheusExposition(t *testing.T) {
 	if len(buckets) > 0 && buckets[len(buckets)-1] != 4 {
 		// 0.5, 3, 3, 9 are within the finite bounds; 10000 only in +Inf.
 		t.Errorf("last finite bucket = %d, want 4", buckets[len(buckets)-1])
+	}
+}
+
+// Satellite (PR 8): Merge on mismatched schemes must return the typed
+// *BucketMismatchError so callers can distinguish schema drift from I/O
+// failures, and Quantile must be well-defined at its edges.
+func TestLogHistMergeBucketMismatchTyped(t *testing.T) {
+	a := NewLogHist(LogScheme{Min: 1, Growth: 2, Buckets: 4})
+	b := NewLogHist(LogScheme{Min: 1, Growth: 2, Buckets: 6})
+	c := NewLogHist(LogScheme{Min: 2, Growth: 2, Buckets: 4})
+	a.Observe(3)
+	b.Observe(3)
+	c.Observe(3)
+
+	_, err := a.Snapshot().Merge(b.Snapshot())
+	var bm *BucketMismatchError
+	if !errors.As(err, &bm) {
+		t.Fatalf("length mismatch: err = %v, want *BucketMismatchError", err)
+	}
+	if bm.Bucket != -1 || bm.LenA != 4 || bm.LenB != 6 {
+		t.Fatalf("length mismatch detail = %+v", bm)
+	}
+	if !strings.Contains(bm.Error(), "4 vs 6 bounds") {
+		t.Fatalf("length mismatch message = %q", bm.Error())
+	}
+
+	_, err = a.Snapshot().Merge(c.Snapshot())
+	bm = nil
+	if !errors.As(err, &bm) {
+		t.Fatalf("bound mismatch: err = %v, want *BucketMismatchError", err)
+	}
+	if bm.Bucket != 0 || bm.A != 1 || bm.B != 2 {
+		t.Fatalf("bound mismatch detail = %+v", bm)
+	}
+	if !strings.Contains(bm.Error(), "bucket 0") {
+		t.Fatalf("bound mismatch message = %q", bm.Error())
+	}
+
+	// Same scheme still merges cleanly.
+	if _, err := a.Snapshot().Merge(a.Snapshot()); err != nil {
+		t.Fatalf("same-scheme merge: %v", err)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is NaN (callers must guard before
+	// JSON-marshaling).
+	empty := NewLogHist(testScheme).Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := empty.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("empty.Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+	if v := (HistogramSnapshot{}).Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("zero-value snapshot Quantile = %v, want NaN", v)
+	}
+
+	// Single populated bucket: all quantiles land within that bucket's
+	// range (0 to its upper bound, interpolated).
+	h := NewLogHist(testScheme)
+	h.Observe(3) // bucket with bound 4
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		v := s.Quantile(q)
+		if math.IsNaN(v) || v < 2 || v > 4 {
+			t.Errorf("single-bucket Quantile(%v) = %v, want within (2,4]", q, v)
+		}
+	}
+	if s.Quantile(0) > s.Quantile(1) {
+		t.Errorf("Quantile(0)=%v > Quantile(1)=%v", s.Quantile(0), s.Quantile(1))
+	}
+
+	// q outside [0,1] clamps; NaN q is NaN.
+	if s.Quantile(-5) != s.Quantile(0) || s.Quantile(5) != s.Quantile(1) {
+		t.Error("out-of-range q must clamp to [0,1]")
+	}
+	if !math.IsNaN(s.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) must be NaN")
+	}
+
+	// Overflow-only data: quantiles clamp to the last finite bound.
+	o := NewLogHist(testScheme)
+	o.Observe(1e9)
+	last := testScheme.Bounds()[testScheme.Buckets-1]
+	if v := o.Snapshot().Quantile(0.99); v != last {
+		t.Errorf("overflow Quantile = %v, want last bound %v", v, last)
 	}
 }

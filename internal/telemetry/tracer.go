@@ -133,6 +133,19 @@ type Observer struct {
 	// ProfileFuncs enables the per-function simulated-cycle profiler in
 	// runs driven through sim.RunObserved.
 	ProfileFuncs bool
+	// FlightCap sizes the per-process control-flow flight recorder (rounded
+	// up to a power of two). Zero disables recording — the default, so
+	// unobserved and metrics-only runs pay nothing in the dispatch loops.
+	FlightCap int
+}
+
+// FlightRecorderCap returns the configured flight-recorder capacity; zero
+// (including on a nil observer) means recording is disabled.
+func (o *Observer) FlightRecorderCap() int {
+	if o == nil {
+		return 0
+	}
+	return o.FlightCap
 }
 
 // Enabled reports whether the observer has any live sink.

@@ -6,6 +6,7 @@ import (
 	"r2c/internal/defense"
 	"r2c/internal/image"
 	"r2c/internal/sim"
+	"r2c/internal/telemetry"
 	"r2c/internal/tir"
 	"r2c/internal/vm"
 )
@@ -180,4 +181,39 @@ func BenchmarkVMCallDenseR2CPush(b *testing.B) {
 
 func BenchmarkVMLoadStore(b *testing.B) {
 	benchBoth(b, loadStoreModule(), defense.Off())
+}
+
+// runBenchImageFlight is runBenchImage with a flight recorder attached —
+// the enabled-but-idle overhead gate for the security observatory: the
+// recorder hooks fire on every call/ret/jump, so this measures their
+// steady-state dispatch cost against the recorder-free numbers above.
+func runBenchImageFlight(b *testing.B, img *image.Image, legacy bool) {
+	b.Helper()
+	obs := &telemetry.Observer{FlightCap: 64}
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proc, err := sim.NewProcessFromImage(img, 1, obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if proc.Flight == nil {
+			b.Fatal("flight recorder not attached")
+		}
+		mach := vm.New(proc, vm.EPYCRome())
+		mach.Legacy = legacy
+		res, err := mach.Run(sim.DefaultBudget)
+		if err != nil || !res.Halted {
+			b.Fatalf("run: halted=%v err=%v", res.Halted, err)
+		}
+		instrs += res.Instructions
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkVMCallDenseR2CFullFlight(b *testing.B) {
+	img := buildBenchImage(b, callDenseModule(), defense.R2CFull())
+	b.Run("fast", func(b *testing.B) { runBenchImageFlight(b, img, false) })
+	b.Run("legacy", func(b *testing.B) { runBenchImageFlight(b, img, true) })
 }

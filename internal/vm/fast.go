@@ -8,6 +8,7 @@ import (
 	"r2c/internal/mem"
 	"r2c/internal/pcode"
 	"r2c/internal/rt"
+	"r2c/internal/telemetry"
 )
 
 // runFast executes on the predecoded program (image.Code). It must be
@@ -144,6 +145,12 @@ blocks:
 				m.charge(isa.KMovReg, prof.Cost[isa.KMovReg])
 				idx++
 			case pcode.XLoadAbs:
+				if m.rec != nil && m.rec.NearGuard(op.Imm) {
+					// The block was charged up front; subtract the not-yet-
+					// retired suffix so the recorded instruction count
+					// matches the legacy loop's at this op.
+					m.rec.Record(telemetry.FlightLoad, op.Addr, op.Imm, m.res.Instructions-uint64(end-idx-1))
+				}
 				v, f := m.read64(op.Imm)
 				if f != nil {
 					cpu.PC = op.Addr
@@ -155,7 +162,11 @@ blocks:
 				m.charge(isa.KLoad, prof.Cost[isa.KLoad])
 				idx++
 			case pcode.XLoadBase:
-				v, f := m.read64(cpu.R[op.Base] + uint64(op.Disp))
+				a := cpu.R[op.Base] + uint64(op.Disp)
+				if m.rec != nil && m.rec.NearGuard(a) {
+					m.rec.Record(telemetry.FlightLoad, op.Addr, a, m.res.Instructions-uint64(end-idx-1))
+				}
+				v, f := m.read64(a)
 				if f != nil {
 					cpu.PC = op.Addr
 					m.stopFault(op.Addr, f)
@@ -609,6 +620,16 @@ func (m *Machine) fastCall(code *pcode.Program, idx, end int, indirect bool) (ne
 		cost += m.Prof.AVXDirtyPenalty
 	}
 	m.charge(kind, cost)
+	if m.rec != nil {
+		// Control transfers are block-final, so the up-front block charge
+		// has exactly retired through this op; recording happens before
+		// target resolution so wild calls are captured too.
+		fk := telemetry.FlightCall
+		if indirect {
+			fk = telemetry.FlightCallInd
+		}
+		m.rec.Record(fk, op.Addr, target, m.res.Instructions)
+	}
 	if tIdx < 0 {
 		cpu.PC = op.Addr
 		m.stopFault(op.Addr, &mem.Fault{Addr: target, Access: mem.AccessExec, Unmapped: true})
@@ -649,6 +670,9 @@ func (m *Machine) fastRet(code *pcode.Program, idx, end int) (next int, stop boo
 		cost += m.Prof.AVXDirtyPenalty
 	}
 	m.charge(isa.KRet, cost)
+	if m.rec != nil {
+		m.rec.Record(telemetry.FlightRet, op.Addr, ra, m.res.Instructions)
+	}
 	t := int32(-1)
 	if n := len(m.rstack); n > 0 {
 		e := m.rstack[n-1]
@@ -676,6 +700,9 @@ func (m *Machine) fastRet(code *pcode.Program, idx, end int) (next int, stop boo
 func (m *Machine) fastJump(code *pcode.Program, idx, end int, k isa.Kind) (next int, stop bool) {
 	op := &code.Ops[idx]
 	m.charge(k, m.Prof.Cost[k])
+	if m.rec != nil {
+		m.rec.Record(telemetry.FlightJump, op.Addr, op.Target, m.res.Instructions)
+	}
 	t := op.TIdx
 	if t < 0 {
 		m.CPU.PC = op.Addr

@@ -9,6 +9,7 @@ import (
 	"r2c/internal/isa"
 	"r2c/internal/mem"
 	"r2c/internal/rt"
+	"r2c/internal/telemetry"
 )
 
 // ForceLegacyDispatch, when set, makes newly created Machines execute on the
@@ -130,6 +131,13 @@ type Machine struct {
 	// run is cycle-identical to an unprofiled one.
 	profiler *FuncProfiler
 
+	// rec mirrors Proc.Flight: the control-flow flight recorder both
+	// dispatch loops feed at block boundaries. Nil — the common case —
+	// keeps the hooks to a single pointer test; recording never touches
+	// architectural state, so an instrumented run is cycle-identical to an
+	// uninstrumented one.
+	rec *telemetry.FlightRecorder
+
 	res Result
 	pub published
 }
@@ -162,6 +170,7 @@ func New(proc *rt.Process, prof *Profile) *Machine {
 		Proc: proc, Img: proc.Img, Prof: prof,
 		ic:       newICache(prof),
 		lastLine: ^uint64(0), lastExecPage: ^uint64(0),
+		rec: proc.Flight,
 	}
 	m.CPU.PC = proc.Img.Entry
 	m.CPU.R[isa.RSP] = proc.InitialRSP
@@ -393,6 +402,9 @@ func (m *Machine) runLegacy(maxInstr uint64) (*Result, error) {
 			if in.Base != isa.NoGPR {
 				a = cpu.R[in.Base] + uint64(in.Disp)
 			}
+			if m.rec != nil && m.rec.NearGuard(a) {
+				m.rec.Record(telemetry.FlightLoad, addr, a, m.res.Instructions)
+			}
 			v, f := m.read64(a)
 			if f != nil {
 				m.stopFault(addr, f)
@@ -456,6 +468,15 @@ func (m *Machine) runLegacy(maxInstr uint64) (*Result, error) {
 				cost += prof.AVXDirtyPenalty
 			}
 			m.charge(in.Kind, cost)
+			if m.rec != nil {
+				k := telemetry.FlightCall
+				if in.Kind == isa.KCallInd {
+					k = telemetry.FlightCallInd
+				}
+				// Recorded before target resolution, so wild transfers —
+				// the attack signal — land on the flight record too.
+				m.rec.Record(k, addr, target, m.res.Instructions)
+			}
 			if !jump(target) {
 				return finish(), nil
 			}
@@ -483,6 +504,9 @@ func (m *Machine) runLegacy(maxInstr uint64) (*Result, error) {
 				cost += prof.AVXDirtyPenalty
 			}
 			m.charge(in.Kind, cost)
+			if m.rec != nil {
+				m.rec.Record(telemetry.FlightRet, addr, ra, m.res.Instructions)
+			}
 			if !jump(ra) {
 				return finish(), nil
 			}
@@ -492,6 +516,9 @@ func (m *Machine) runLegacy(maxInstr uint64) (*Result, error) {
 			continue
 		case isa.KJmp:
 			m.charge(in.Kind, cost)
+			if m.rec != nil {
+				m.rec.Record(telemetry.FlightJump, addr, in.Target, m.res.Instructions)
+			}
 			prev := curF
 			if !jump(in.Target) {
 				return finish(), nil
@@ -504,6 +531,9 @@ func (m *Machine) runLegacy(maxInstr uint64) (*Result, error) {
 			taken := (cpu.R[in.Src] == 0) == (in.Kind == isa.KJz)
 			if taken {
 				m.charge(in.Kind, cost)
+				if m.rec != nil {
+					m.rec.Record(telemetry.FlightJump, addr, in.Target, m.res.Instructions)
+				}
 				prev := curF
 				if !jump(in.Target) {
 					return finish(), nil
