@@ -4,7 +4,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test test-race bench bench-vm bench-compare audit check clean
+.PHONY: all build vet test test-race bench bench-vm bench-compare audit serve-smoke check clean
 
 all: check
 
@@ -14,8 +14,8 @@ build:
 # Harness binaries, built once so measured invocations never pay (or time)
 # the compiler. `go run` inside a benchmark target folds compile time into
 # the first measurement and defeats the build cache across labels.
-$(BIN)/r2cbench $(BIN)/r2cattack $(BIN)/r2caudit: force
-	$(GO) build -o $(BIN)/ ./cmd/r2cbench ./cmd/r2cattack ./cmd/r2caudit
+$(BIN)/r2cbench $(BIN)/r2cattack $(BIN)/r2caudit $(BIN)/r2cserve: force
+	$(GO) build -o $(BIN)/ ./cmd/r2cbench ./cmd/r2cattack ./cmd/r2caudit ./cmd/r2cserve
 
 .PHONY: force
 force:
@@ -30,7 +30,7 @@ test:
 # engine (worker pool + build cache); their tests — and the bench drivers
 # that fan cells through them — run under the race detector.
 test-race:
-	$(GO) test -race -timeout 300s ./internal/telemetry/ ./internal/sim/ ./internal/exec/ ./internal/bench/ ./internal/incident/
+	$(GO) test -race -timeout 300s ./internal/telemetry/ ./internal/sim/ ./internal/exec/ ./internal/bench/ ./internal/incident/ ./internal/fleet/ ./internal/mvee/
 
 # Go micro-benchmarks plus one real harness run per label, each refreshing
 # the committed BENCH_<label>.json baseline (geomean overheads, cycle totals,
@@ -68,13 +68,24 @@ audit: $(BIN)/r2caudit
 	$(BIN)/r2caudit -config r2c -variants 8 -json victim > AUDIT_victim.json
 	$(BIN)/r2caudit -config r2c -variants 8 victim
 
+# Serving-fleet smoke: a bounded MVEE-supervised run with injected corruption
+# pressure. -require-recover makes the run itself the assertion — it exits
+# nonzero unless at least one variant was quarantined by a detection AND its
+# re-diversified replacement rejoined the fleet, so CI proves the whole
+# detect → quarantine → rebuild → resume loop end to end. The report (time to
+# replace, throughput, p99) prints on stdout and lands in SERVE_metrics.json.
+serve-smoke: $(BIN)/r2cserve
+	$(BIN)/r2cserve -variants 4 -mvee 2 -requests 400 \
+		-attack overwrite -attack-start 50 -attack-every 25 \
+		-require-recover -metrics-out SERVE_metrics.json nginx
+
 # The tier-1 gate: what CI (.github/workflows/ci.yml) runs. The exec engine
 # and the telemetry package (ops HTTP server, span sinks, registry) are cheap
 # enough to always take the race detector. The tight -timeout is load-bearing:
 # the fault-injection tests exercise watchdogs and stalls, and a regression
 # that reintroduces a real hang should fail the gate in minutes, not hours.
 check: build vet test
-	$(GO) test -race -timeout 300s ./internal/exec/ ./internal/telemetry/ ./internal/vm/ ./internal/pcode/ ./internal/incident/
+	$(GO) test -race -timeout 300s ./internal/exec/ ./internal/telemetry/ ./internal/vm/ ./internal/pcode/ ./internal/incident/ ./internal/fleet/ ./internal/mvee/
 	$(GO) test -run=^$$ -bench=BenchmarkVM -benchtime=1x ./internal/vm/
 
 clean:

@@ -1,0 +1,937 @@
+// Package fleet runs R2C as a long-lived multi-variant serving service —
+// the closed loop the paper's Section 7.3 and the "instant re-randomization"
+// principle point at: an open-loop request generator drives simulated
+// traffic across N diversified variants of one workload, every request is
+// screened for detection signals (booby traps, faults, liveness hangs, and
+// — in supervised mode — MVEE divergence), and any signal quarantines the
+// variant and re-diversifies it live with a fresh seed while the rest of
+// the fleet keeps serving.
+//
+// Time is split into two domains. The *simulated* domain is a deterministic
+// discrete-event simulation: request arrivals follow a Poisson process from
+// the repository's seeded RNG, service times are the VM's modeled seconds,
+// and queueing, quarantine windows and rejoin times all live on that clock —
+// so throughput, tail latency and every incident record are byte-identical
+// across runs and -jobs widths. The *wall-clock* domain is where the real
+// re-diversification work happens: a quarantined variant's replacement
+// image is built concurrently (through the exec engine's content-addressed
+// cache) while the serve loop keeps executing requests, and the measured
+// wall seconds per replacement are the fleet's real time-to-replace.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"r2c/internal/attack"
+	"r2c/internal/defense"
+	"r2c/internal/exec"
+	"r2c/internal/image"
+	"r2c/internal/incident"
+	"r2c/internal/mvee"
+	"r2c/internal/rng"
+	"r2c/internal/rt"
+	"r2c/internal/sim"
+	"r2c/internal/telemetry"
+	"r2c/internal/tir"
+	"r2c/internal/vm"
+)
+
+// Attack injection modes.
+const (
+	// ModeOverwrite writes Value at the Target data symbol's address — the
+	// plain AOCR data-corruption payload. Under MVEE supervision the same
+	// absolute write lands differently in every variant and diverges; in
+	// single-variant mode it is silent (the ground-truth counter the
+	// report surfaces as the MVEE's value).
+	ModeOverwrite = "overwrite"
+	// ModeHijack replays the attack victim's control-flow hijack: unlock
+	// secret_key with the magic argument and repoint admin_ptr at
+	// secret_disclose, using addresses leaked from the pinned variant.
+	ModeHijack = "hijack"
+)
+
+// Heal strategies for a quarantined variant.
+const (
+	// HealRebuild builds a replacement image with a fresh diversification
+	// seed — full re-diversification, obsoleting every address the
+	// attacker leaked (the "instant re-randomization" response).
+	HealRebuild = "rebuild"
+	// HealReroll re-randomizes only the BTRA artifacts of the existing
+	// image in place (rt.RerollBTRAs persisted into the image). Cheap, but
+	// the layout survives, so leaked code/data addresses stay valid — the
+	// paper's "more dynamism is less effective" ablation as a fleet
+	// response policy.
+	HealReroll = "reroll"
+)
+
+// Schedule scripts the attack pressure: from request Start, every Every-th
+// request carries a corrupting payload against the pinned victim variant.
+type Schedule struct {
+	// Start is the first attacked request index; Every the attack period.
+	// Every <= 0 or an empty Mode disables injection.
+	Start int
+	Every int
+	// Mode is ModeOverwrite or ModeHijack.
+	Mode string
+	// Target is the data symbol ModeOverwrite corrupts; Value what it
+	// writes there.
+	Target string
+	Value  uint64
+	// Adaptive lets the attacker re-leak the victim's layout after a heal
+	// (a repeated-leak JIT-ROP-style adversary); otherwise the knowledge
+	// from the first leak goes stale the moment the variant re-diversifies.
+	Adaptive bool
+}
+
+// active reports whether request req carries the corrupting payload.
+func (s Schedule) active(req int) bool {
+	return s.Mode != "" && s.Every > 0 && req >= s.Start && (req-s.Start)%s.Every == 0
+}
+
+// Options configures a fleet run.
+type Options struct {
+	Module *tir.Module
+	Cfg    defense.Config
+	Prof   *vm.Profile
+
+	// Variants is the fleet size; BaseSeed seeds variant i with BaseSeed+i
+	// and replacement builds with fresh seeds above that range.
+	Variants int
+	BaseSeed uint64
+
+	// Requests is how many requests the generator emits. RateRPS is the
+	// open-loop Poisson arrival rate in simulated requests/second; <= 0
+	// auto-calibrates to ~70% of the fleet's measured service capacity.
+	Requests int
+	RateRPS  float64
+
+	// MVEE >= 2 supervises every request across that many variants and
+	// adds divergence detection; otherwise each request runs on a single
+	// variant with trap/fault/hang detection only.
+	MVEE int
+	// SliceInstrs/MaxSlices bound the supervisor's lockstep slices (MVEE
+	// mode); RequestFuel bounds a single-variant request's instructions.
+	// Zeros pick defaults sized for single-request handlers.
+	SliceInstrs int
+	MaxSlices   int
+	RequestFuel uint64
+
+	// Heal selects the quarantine response (HealRebuild default).
+	// RebuildLatency is the simulated seconds a quarantined variant stays
+	// out of rotation; <= 0 derives it from the measured service time.
+	Heal           string
+	RebuildLatency float64
+
+	Attack Schedule
+
+	// Eng runs replacement builds (and the initial fan-out) through the
+	// worker pool and build cache. Required.
+	Eng *exec.Engine
+	// Obs receives fleet metrics; Incidents detection records. Either may
+	// be nil.
+	Obs       *telemetry.Observer
+	Incidents *incident.Log
+	// Campaign labels incident records ("" = "fleet/<module>").
+	Campaign string
+}
+
+// Slot states.
+const (
+	stateServing     = "serving"
+	stateQuarantined = "quarantined"
+	stateFailed      = "failed"
+)
+
+// slot is one variant position in the fleet. The serve loop owns all
+// fields; the fleet mutex guards the subset the live view reads.
+type slot struct {
+	id   int
+	seed uint64
+	gen  int
+	img  *image.Image
+
+	state    string
+	freeAt   float64 // simulated time the variant is next idle
+	rejoinAt float64 // simulated time a quarantined variant re-enters rotation
+	served   int
+	quars    int
+
+	heal     chan healDone
+	wallQuar time.Time
+}
+
+type healDone struct {
+	img  *image.Image
+	seed uint64
+	err  error
+}
+
+type write struct{ addr, value uint64 }
+
+// Fleet is a serving fleet mid-run. Create with New, drive with Serve;
+// Live may be polled from other goroutines (the ops endpoint) at any time.
+type Fleet struct {
+	o        Options
+	campaign string
+	width    int // slots per request: 1 or o.MVEE
+
+	mu          sync.Mutex
+	slots       []*slot
+	served      int
+	simClock    float64
+	quarantines int
+	recoveries  int
+
+	// Attacker state: the leaked write list, the slot it is pinned to and
+	// the generation it was leaked from.
+	atkWrites []write
+	atkSlot   int
+	atkGen    int
+	leaks     int
+
+	nextSeed uint64
+	golden   []uint64
+	goldenS  float64
+	rep      *Report
+}
+
+// New validates the options and prepares a fleet (no builds yet — Serve
+// performs the initial fan-out so the ops endpoint can watch it).
+func New(o Options) (*Fleet, error) {
+	if o.Module == nil || o.Prof == nil || o.Eng == nil {
+		return nil, errors.New("fleet: Module, Prof and Eng are required")
+	}
+	if o.Variants < 2 {
+		return nil, fmt.Errorf("fleet: need at least two variants, got %d", o.Variants)
+	}
+	if o.MVEE == 1 || o.MVEE < 0 {
+		return nil, fmt.Errorf("fleet: MVEE width must be 0 (single-variant) or >= 2, got %d", o.MVEE)
+	}
+	if o.MVEE > o.Variants {
+		return nil, fmt.Errorf("fleet: MVEE width %d exceeds fleet size %d", o.MVEE, o.Variants)
+	}
+	if o.Requests <= 0 {
+		return nil, fmt.Errorf("fleet: need a positive request count, got %d", o.Requests)
+	}
+	switch o.Heal {
+	case "":
+		o.Heal = HealRebuild
+	case HealRebuild:
+	case HealReroll:
+		if o.Cfg.BTRAPoolSize <= 0 {
+			return nil, fmt.Errorf("fleet: heal %q needs a booby-trap pool (config %s has none)", HealReroll, o.Cfg.Name)
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown heal strategy %q", o.Heal)
+	}
+	switch o.Attack.Mode {
+	case "", ModeOverwrite, ModeHijack:
+	default:
+		return nil, fmt.Errorf("fleet: unknown attack mode %q", o.Attack.Mode)
+	}
+	if o.Attack.Mode == ModeOverwrite && o.Attack.Every > 0 && o.Attack.Target == "" {
+		return nil, errors.New("fleet: overwrite attack needs a target symbol")
+	}
+	if o.SliceInstrs <= 0 {
+		o.SliceInstrs = 100_000
+	}
+	if o.MaxSlices <= 0 {
+		o.MaxSlices = 50
+	}
+	if o.RequestFuel == 0 {
+		o.RequestFuel = 5_000_000
+	}
+	f := &Fleet{
+		o:        o,
+		campaign: o.Campaign,
+		width:    1,
+		atkSlot:  -1,
+		atkGen:   -1,
+		nextSeed: o.BaseSeed + uint64(o.Variants),
+	}
+	if o.MVEE >= 2 {
+		f.width = o.MVEE
+	}
+	if f.campaign == "" {
+		f.campaign = "fleet/" + o.Module.Name
+	}
+	return f, nil
+}
+
+// buildInitial links the fleet's starting images. Rebuild-healed fleets
+// share the engine's content-addressed cache; reroll-healed fleets build
+// private images, because rerolling mutates the image in place and a cached
+// image is shared with every other caller of the same (module, cfg, seed).
+func (f *Fleet) buildInitial(ctx context.Context) error {
+	o := f.o
+	imgs := make([]*image.Image, o.Variants)
+	if o.Heal == HealReroll {
+		for i := range imgs {
+			img, err := sim.BuildImage(o.Module, o.Cfg, o.BaseSeed+uint64(i))
+			if err != nil {
+				return fmt.Errorf("fleet: variant %d: %w", i, err)
+			}
+			imgs[i] = img
+		}
+	} else {
+		seeds := make([]uint64, o.Variants)
+		for i := range seeds {
+			seeds[i] = o.BaseSeed + uint64(i)
+		}
+		var err error
+		imgs, err = o.Eng.BuildImages(ctx, o.Module, o.Cfg, seeds)
+		if err != nil {
+			return fmt.Errorf("fleet: initial build: %w", err)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.slots = make([]*slot, o.Variants)
+	for i, img := range imgs {
+		f.slots[i] = &slot{id: i, seed: o.BaseSeed + uint64(i), img: img, state: stateServing}
+	}
+	return nil
+}
+
+// Serve runs the whole request schedule and returns the report. The serve
+// loop is a single goroutine over the simulated clock; replacement builds
+// run concurrently on their own goroutines and are joined at rejoin time.
+func (f *Fleet) Serve(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := f.o
+	wallStart := time.Now()
+	if err := f.buildInitial(ctx); err != nil {
+		return nil, err
+	}
+
+	// Golden run: the differential property says every benign variant
+	// agrees on output, so one clean run of variant 0 yields both the
+	// ground-truth response and the reference service time.
+	gproc, err := sim.NewProcessFromImage(f.slots[0].img, f.slots[0].seed, o.Obs)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: golden load: %w", err)
+	}
+	gres, err := sim.ExecProcessCtx(ctx, gproc, o.Prof, o.Obs, o.RequestFuel)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: golden run: %w", err)
+	}
+	f.golden = append([]uint64(nil), gres.Output...)
+	f.goldenS = gres.Seconds(o.Prof)
+
+	if o.Attack.active(o.Attack.Start) { // attack configured: resolve once to fail fast
+		if _, err := resolveWrites(o.Attack, f.slots[0].img); err != nil {
+			return nil, err
+		}
+	}
+
+	rate := o.RateRPS
+	if rate <= 0 {
+		// Auto-calibrate the open-loop rate to ~70% of capacity: the fleet
+		// serves Variants/width requests concurrently, each costing the
+		// golden service time (MVEE lockstep occupies width slots per
+		// request).
+		rate = 0.7 * float64(o.Variants) / (float64(f.width) * f.goldenS)
+	}
+	rebuildLat := o.RebuildLatency
+	if rebuildLat <= 0 {
+		// Default quarantine window: ~20 request service times, long
+		// enough that degraded capacity is visible in the tail latency.
+		rebuildLat = 20 * f.goldenS
+	}
+
+	arrivals := rng.New(o.BaseSeed ^ 0xf1ee7a27c0ffee42)
+	// With an observer the histograms live in its registry (exported via
+	// /metrics and -metrics-out); without one the fleet still needs them
+	// for the report's quantiles, so it owns private instances.
+	hist := func(name string) *telemetry.LogHist {
+		if h := o.Obs.LogHist(name, telemetry.LatencyScheme); h != nil {
+			return h
+		}
+		return telemetry.NewLogHist(telemetry.LatencyScheme)
+	}
+	sojournH := hist("fleet.request.seconds")
+	serviceH := hist("fleet.service.seconds")
+	replaceH := hist("fleet.replace.wall.seconds")
+
+	rep := &Report{}
+	rep.Sim.Workload = o.Module.Name
+	rep.Sim.Config = o.Cfg.Name
+	rep.Sim.Variants = o.Variants
+	rep.Sim.MVEEWidth = o.MVEE
+	rep.Sim.Requests = o.Requests
+	rep.Sim.RateRPS = rate
+	rep.Sim.RebuildLatency = rebuildLat
+	rep.Sim.GoldenServiceSeconds = f.goldenS
+	rep.Sim.Detections = map[string]int{}
+	f.rep = rep
+
+	arrival := 0.0
+	for i := 0; i < o.Requests; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Open-loop Poisson arrivals: the generator never waits for the
+		// fleet, which is what makes overload visible as queueing delay.
+		arrival += expInterarrival(arrivals, rate)
+
+		if err := f.rejoinDue(arrival, rebuildLat, replaceH); err != nil {
+			return nil, err
+		}
+		chosen, startFloor, stalled, err := f.dispatch(arrival, rebuildLat, replaceH)
+		if err != nil {
+			return nil, err
+		}
+		if stalled {
+			rep.Sim.Stalls++
+			f.o.Obs.Counter("fleet.stalls").Inc()
+		}
+		start := startFloor
+		for _, s := range chosen {
+			if s.freeAt > start {
+				start = s.freeAt
+			}
+		}
+
+		if err := f.serveRequest(ctx, i, chosen, arrival, start, rebuildLat, sojournH, serviceH); err != nil {
+			return nil, err
+		}
+	}
+
+	// Join stragglers: replacement builds still in flight at shutdown are
+	// waited for (their goroutines hold the engine), but slots past the end
+	// of the schedule keep their final state in the report.
+	f.mu.Lock()
+	for _, s := range f.slots {
+		if s.state == stateQuarantined {
+			<-s.heal
+		}
+	}
+	slots := make([]SlotReport, len(f.slots))
+	for i, s := range f.slots {
+		slots[i] = SlotReport{ID: s.id, Seed: s.seed, Gen: s.gen, State: s.state, Served: s.served, Quarantines: s.quars}
+	}
+	rep.Sim.Slots = slots
+	rep.Sim.Quarantines = f.quarantines
+	rep.Sim.Recoveries = f.recoveries
+	rep.Sim.Leaks = f.leaks
+	rep.Sim.MakespanSeconds = f.simClock
+	f.mu.Unlock()
+
+	if rep.Sim.MakespanSeconds > 0 {
+		rep.Sim.ThroughputRPS = float64(o.Requests) / rep.Sim.MakespanSeconds
+	}
+	snap := sojournH.Snapshot()
+	rep.Sim.LatencyP50 = snap.Quantile(0.50)
+	rep.Sim.LatencyP90 = snap.Quantile(0.90)
+	rep.Sim.LatencyP99 = snap.Quantile(0.99)
+	if snap.Count > 0 {
+		rep.Sim.LatencyMean = snap.Sum / float64(snap.Count)
+	}
+	rsnap := replaceH.Snapshot()
+	rep.Wall.Rebuilds = int(rsnap.Count)
+	if rsnap.Count > 0 {
+		rep.Wall.ReplaceMeanSeconds = rsnap.Sum / float64(rsnap.Count)
+		rep.Wall.ReplaceP99Seconds = rsnap.Quantile(0.99)
+	}
+	rep.Wall.ElapsedSeconds = time.Since(wallStart).Seconds()
+	rep.Publish(o.Obs)
+	return rep, nil
+}
+
+// expInterarrival draws one exponential interarrival gap.
+func expInterarrival(r *rng.RNG, rate float64) float64 {
+	u := r.Float64()
+	// -ln(1-u) with u in [0,1): never Inf because 1-u > 0.
+	return -math.Log1p(-u) / rate
+}
+
+// dispatch picks the request's serving slots: the width earliest-available
+// serving variants (ties by id). When fewer than width variants are
+// serving, the earliest quarantined rejoins are pulled forward and the
+// request stalls until they land.
+func (f *Fleet) dispatch(arrival, rebuildLat float64, replaceH *telemetry.LogHist) ([]*slot, float64, bool, error) {
+	serving := f.servingSlots()
+	stalled := false
+	floor := arrival
+	for len(serving) < f.width {
+		var quar []*slot
+		for _, s := range f.slots {
+			if s.state == stateQuarantined {
+				quar = append(quar, s)
+			}
+		}
+		if len(quar) == 0 {
+			return nil, 0, false, fmt.Errorf("fleet: exhausted — %d/%d variants failed permanently", len(f.slots)-len(serving), len(f.slots))
+		}
+		sort.Slice(quar, func(i, j int) bool {
+			if quar[i].rejoinAt != quar[j].rejoinAt {
+				return quar[i].rejoinAt < quar[j].rejoinAt
+			}
+			return quar[i].id < quar[j].id
+		})
+		need := f.width - len(serving)
+		if need > len(quar) {
+			need = len(quar)
+		}
+		t := quar[need-1].rejoinAt
+		if t > floor {
+			floor = t
+		}
+		stalled = true
+		if err := f.rejoinDue(floor, rebuildLat, replaceH); err != nil {
+			return nil, 0, false, err
+		}
+		serving = f.servingSlots()
+	}
+	sort.Slice(serving, func(i, j int) bool {
+		if serving[i].freeAt != serving[j].freeAt {
+			return serving[i].freeAt < serving[j].freeAt
+		}
+		return serving[i].id < serving[j].id
+	})
+	chosen := serving[:f.width]
+	// A pinned attacker directs its malicious requests at the variant it
+	// leaked (connection pinning); swap it into the group when serving.
+	if f.atkSlot >= 0 && f.o.Attack.active(f.served) {
+		if v := f.slots[f.atkSlot]; v.state == stateServing {
+			inGroup := false
+			for _, s := range chosen {
+				if s.id == v.id {
+					inGroup = true
+					break
+				}
+			}
+			if !inGroup {
+				chosen = append([]*slot{v}, chosen[:f.width-1]...)
+			}
+		}
+	}
+	return chosen, floor, stalled, nil
+}
+
+func (f *Fleet) servingSlots() []*slot {
+	var out []*slot
+	for _, s := range f.slots {
+		if s.state == stateServing {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// serveRequest executes request i on the chosen slots, applies scheduled
+// corruption, classifies detection signals, and quarantines compromised
+// variants.
+func (f *Fleet) serveRequest(ctx context.Context, i int, chosen []*slot, arrival, start, rebuildLat float64, sojournH, serviceH *telemetry.LogHist) error {
+	o := f.o
+	attacked := o.Attack.active(i)
+	procs := make([]*rt.Process, len(chosen))
+	for j, s := range chosen {
+		p, err := sim.NewProcessFromImage(s.img, s.seed, o.Obs)
+		if err != nil {
+			return fmt.Errorf("fleet: request %d: load variant %d: %w", i, s.id, err)
+		}
+		procs[j] = p
+	}
+
+	var writes []write
+	if attacked {
+		var err error
+		writes, err = f.attackerWrites(chosen[0])
+		if err != nil {
+			return err
+		}
+		f.rep.Sim.AttackRequests++
+		o.Obs.Counter("fleet.attacks").Inc()
+	}
+
+	var (
+		service  float64
+		detected []int // indices into chosen to quarantine
+		kinds    []string
+		output   []uint64
+	)
+	if f.width >= 2 {
+		me := &mvee.Engine{Incidents: o.Incidents, Campaign: f.campaign, Trial: i}
+		for j, s := range chosen {
+			me.Variants = append(me.Variants, &mvee.Variant{Seed: s.seed, Proc: procs[j], Mach: vm.New(procs[j], o.Prof)})
+		}
+		for _, w := range writes {
+			// CorruptAll replicates the malicious input's absolute write to
+			// every supervised variant and records where it landed — the
+			// injector's ground truth.
+			for _, landed := range me.CorruptAll(w.addr, w.value) {
+				f.recordInjection(landed)
+			}
+		}
+		verdict, err := me.Run(o.SliceInstrs, o.MaxSlices)
+		if err != nil {
+			return fmt.Errorf("fleet: request %d: supervisor: %w", i, err)
+		}
+		service, detected, kinds, output = f.judgeVerdict(verdict)
+	} else {
+		for _, w := range writes {
+			f.recordInjection(procs[0].Space.Write64(w.addr, w.value) == nil)
+		}
+		var kind string
+		service, kind, output = f.runSingle(ctx, i, chosen[0], procs[0])
+		if kind != "" {
+			detected = []int{0}
+			kinds = []string{kind}
+		}
+	}
+
+	done := start + service
+	sojournH.Observe(done - arrival)
+	serviceH.Observe(service)
+
+	// Ground truth the defender cannot see: a run that finished clean with
+	// the wrong output is a silent corruption (and, in hijack mode, the
+	// attacker's win sentinel is an outright compromise).
+	if len(detected) == 0 && output != nil {
+		if !equalOutput(output, f.golden) {
+			f.rep.Sim.SilentCorruptions++
+			o.Obs.Counter("fleet.silent_corruptions").Inc()
+		}
+		if o.Attack.Mode == ModeHijack && attack.HasWin(output) {
+			f.rep.Sim.AttackerWins++
+			o.Obs.Counter("fleet.attacker_wins").Inc()
+		}
+	}
+
+	f.mu.Lock()
+	f.served++
+	if done > f.simClock {
+		f.simClock = done
+	}
+	for _, s := range chosen {
+		s.freeAt = done
+		s.served++
+	}
+	f.mu.Unlock()
+	o.Obs.Counter("fleet.requests").Inc()
+
+	for k, j := range detected {
+		f.rep.Sim.Detections[kinds[k]]++
+		o.Obs.Counter("fleet.detections", "kind", kinds[k]).Inc()
+		f.quarantine(chosen[j], done, rebuildLat)
+	}
+	return nil
+}
+
+// judgeVerdict turns a supervisor verdict into the request's service time,
+// the group members to quarantine, and the detection kinds per member.
+func (f *Fleet) judgeVerdict(v *mvee.Verdict) (service float64, detected []int, kinds []string, output []uint64) {
+	for _, r := range v.Results {
+		if r == nil {
+			continue
+		}
+		if s := r.Seconds(f.o.Prof); s > service {
+			service = s
+		}
+	}
+	if len(v.Hung) > 0 {
+		// A hung variant burned its whole slice budget; lockstep pins the
+		// group's service time to that (modeled at ~1 instruction/cycle).
+		if s := float64(f.o.SliceInstrs) * float64(f.o.MaxSlices) / (f.o.Prof.GHz * 1e9); s > service {
+			service = s
+		}
+	}
+	if !v.Detected() {
+		if r := v.Results[0]; r != nil {
+			output = r.Output
+		}
+		return service, nil, nil, output
+	}
+	// Attribution: members that trapped, hung or errored are individually
+	// compromised; a pure output divergence cannot be attributed within
+	// the group, so the whole group re-diversifies (the conservative MVEE
+	// response — restart everything the corrupted input touched).
+	for j, r := range v.Results {
+		switch {
+		case r != nil && r.Trap != nil:
+			detected = append(detected, j)
+			kinds = append(kinds, "trap")
+		case r != nil && r.Fault != nil:
+			detected = append(detected, j)
+			kinds = append(kinds, "fault")
+		case r == nil || v.Errs[j] != "":
+			detected = append(detected, j)
+			kinds = append(kinds, "divergence")
+		}
+	}
+	if len(detected) == 0 {
+		for j := range v.Results {
+			detected = append(detected, j)
+			kinds = append(kinds, "divergence")
+		}
+	}
+	return service, detected, kinds, nil
+}
+
+// runSingle executes one unsupervised request and classifies its detection
+// signal ("" = clean). A fuel exhaustion is a liveness signal — the same
+// reasoning as the supervisor's slice budget — and quarantines the variant.
+func (f *Fleet) runSingle(ctx context.Context, i int, s *slot, p *rt.Process) (service float64, kind string, output []uint64) {
+	o := f.o
+	res, err := sim.ExecProcessCtx(ctx, p, o.Prof, o.Obs, o.RequestFuel)
+	if res != nil {
+		service = res.Seconds(o.Prof)
+		output = res.Output
+	}
+	switch {
+	case res != nil && res.Trap != nil:
+		kind = "trap"
+		if o.Incidents != nil {
+			o.Incidents.Add(incident.FromTrap(f.campaign, o.Cfg.Name, s.seed, i, "fleet", p, *res.Trap, res.Instructions))
+		}
+	case res != nil && res.Fault != nil:
+		kind = "fault"
+		if o.Incidents != nil {
+			o.Incidents.Add(incident.FromFault(f.campaign, o.Cfg.Name, s.seed, i, "fleet", p, res.Fault.Addr, res.Instructions))
+		}
+	case errors.Is(err, vm.ErrFuelExhausted):
+		kind = "hang"
+		output = nil // an unfinished run has no comparable response
+		if o.Incidents != nil {
+			rec := incident.Record{
+				Campaign: f.campaign, Config: o.Cfg.Name, Seed: s.seed, Trial: i,
+				Kind: "hang", Via: "fleet",
+				Origin: fmt.Sprintf("request exceeded the %d-instruction fuel allowance", o.RequestFuel),
+				Instr:  res.Instructions,
+			}
+			rec.Seal()
+			o.Incidents.Add(rec)
+		}
+	case err != nil:
+		kind = "error"
+		output = nil
+		if o.Incidents != nil {
+			rec := incident.Record{
+				Campaign: f.campaign, Config: o.Cfg.Name, Seed: s.seed, Trial: i,
+				Kind: "error", Via: "fleet", Origin: err.Error(),
+			}
+			if res != nil {
+				rec.Instr = res.Instructions
+			}
+			rec.Seal()
+			o.Incidents.Add(rec)
+		}
+	}
+	return service, kind, output
+}
+
+func (f *Fleet) recordInjection(landed bool) {
+	if landed {
+		f.rep.Sim.InjectionsAccepted++
+		f.o.Obs.Counter("fleet.injections", "result", "accepted").Inc()
+	} else {
+		f.rep.Sim.InjectionsRejected++
+		f.o.Obs.Counter("fleet.injections", "result", "rejected").Inc()
+	}
+}
+
+// quarantine pulls a variant out of rotation at simulated time t and starts
+// its replacement build on a separate goroutine — the serve loop never
+// blocks on the compiler; it joins the build when the rejoin time arrives.
+func (f *Fleet) quarantine(s *slot, t, rebuildLat float64) {
+	if s.state != stateServing {
+		return // already quarantined by an earlier signal in the same request
+	}
+	o := f.o
+	f.mu.Lock()
+	s.state = stateQuarantined
+	s.rejoinAt = t + rebuildLat
+	s.quars++
+	f.quarantines++
+	f.mu.Unlock()
+	s.wallQuar = time.Now()
+	s.heal = make(chan healDone, 1)
+	o.Obs.Counter("fleet.quarantines").Inc()
+	o.Obs.Gauge("fleet.slots.quarantined").Add(1)
+	o.Obs.Emit("fleet-quarantine", map[string]any{"slot": s.id, "gen": s.gen, "sim_time": t})
+
+	switch o.Heal {
+	case HealReroll:
+		seed := f.nextSeed
+		f.nextSeed++
+		img, oldSeed := s.img, s.seed
+		go func(ch chan healDone) {
+			err := rerollImage(img, seed)
+			ch <- healDone{img: img, seed: oldSeed, err: err}
+		}(s.heal)
+	default:
+		seed := f.nextSeed
+		f.nextSeed++
+		go func(ch chan healDone) {
+			img, _, err := o.Eng.Image(o.Module, o.Cfg, seed)
+			ch <- healDone{img: img, seed: seed, err: err}
+		}(s.heal)
+	}
+}
+
+// rejoinDue completes every quarantined variant whose rejoin time has
+// arrived: join the replacement build (waiting out any wall-clock remainder
+// — simulated time is unaffected) and put the fresh variant back in
+// rotation.
+func (f *Fleet) rejoinDue(t, rebuildLat float64, replaceH *telemetry.LogHist) error {
+	for _, s := range f.slots {
+		if s.state != stateQuarantined || s.rejoinAt > t {
+			continue
+		}
+		hd := <-s.heal
+		wall := time.Since(s.wallQuar).Seconds()
+		f.mu.Lock()
+		if hd.err != nil {
+			s.state = stateFailed
+			f.rep.Sim.HealFailures++
+			f.mu.Unlock()
+			f.o.Obs.Counter("fleet.heal.failures").Inc()
+			f.o.Obs.Emit("fleet-heal-failed", map[string]any{"slot": s.id, "error": hd.err.Error()})
+			continue
+		}
+		s.img, s.seed = hd.img, hd.seed
+		s.gen++
+		s.state = stateServing
+		s.freeAt = s.rejoinAt
+		f.recoveries++
+		f.mu.Unlock()
+		replaceH.Observe(wall)
+		f.o.Obs.Counter("fleet.recoveries").Inc()
+		f.o.Obs.Gauge("fleet.slots.quarantined").Add(-1)
+		f.o.Obs.Emit("fleet-rejoin", map[string]any{"slot": s.id, "gen": s.gen, "wall_seconds": wall})
+	}
+	return nil
+}
+
+// attackerWrites returns the corrupting writes for the current request,
+// leaking (or re-leaking, when adaptive) the target's layout as needed.
+func (f *Fleet) attackerWrites(target *slot) ([]write, error) {
+	if f.atkSlot < 0 {
+		f.atkSlot = target.id
+	}
+	victim := f.slots[f.atkSlot]
+	if f.atkWrites == nil || (f.o.Attack.Adaptive && victim.state == stateServing && f.atkGen != victim.gen) {
+		ws, err := resolveWrites(f.o.Attack, victim.img)
+		if err != nil {
+			return nil, err
+		}
+		f.atkWrites = ws
+		f.atkGen = victim.gen
+		f.leaks++
+		f.o.Obs.Counter("fleet.leaks").Inc()
+	}
+	return f.atkWrites, nil
+}
+
+// resolveWrites computes the injection payload from the leaked image — the
+// absolute addresses an AOCR-style attacker would extract from a layout
+// disclosure of that one variant.
+func resolveWrites(s Schedule, img *image.Image) ([]write, error) {
+	switch s.Mode {
+	case ModeHijack:
+		admin := img.DataSyms[attack.SymAdminPtr]
+		key := img.DataSyms[attack.SymSecretKey]
+		secret := img.Funcs[attack.SymSecretFunc]
+		if admin == nil || key == nil || secret == nil {
+			return nil, fmt.Errorf("fleet: hijack attack needs the victim workload's %s/%s/%s symbols", attack.SymAdminPtr, attack.SymSecretKey, attack.SymSecretFunc)
+		}
+		return []write{{key.Addr, attack.MagicArg}, {admin.Addr, secret.Start}}, nil
+	default:
+		ds := img.DataSyms[s.Target]
+		if ds == nil {
+			return nil, fmt.Errorf("fleet: overwrite target %q is not a data symbol of this workload", s.Target)
+		}
+		return []write{{ds.Addr, s.Value}}, nil
+	}
+}
+
+// rerollImage re-randomizes the image's BTRA artifacts in place and
+// persists them, so every process loaded from the image afterwards executes
+// the rerolled values: push-mode immediates live in the (predecoded)
+// instruction stream, which RerollBTRAs rewrites directly, while AVX-array
+// decoy words live in the data section and are copied back into the image's
+// initializer from the scratch process RerollBTRAs rewrote.
+func rerollImage(img *image.Image, seed uint64) error {
+	proc, err := rt.NewProcess(img, seed)
+	if err != nil {
+		return err
+	}
+	if err := proc.RerollBTRAs(seed); err != nil {
+		return err
+	}
+	for _, b := range img.Prog.Blobs {
+		ds := img.DataSyms[b.Name]
+		if ds == nil {
+			continue
+		}
+		for i, w := range b.Words {
+			if !w.BTRA {
+				continue
+			}
+			v, err := proc.Space.Read64(ds.Addr + uint64(i)*8)
+			if err != nil {
+				return err
+			}
+			img.DataInit[ds.Addr+uint64(i)*8] = v
+		}
+	}
+	return nil
+}
+
+// SlotView is one variant's row in the live view.
+type SlotView struct {
+	ID     int    `json:"id"`
+	State  string `json:"state"`
+	Gen    int    `json:"gen"`
+	Seed   uint64 `json:"seed"`
+	Served int    `json:"served"`
+}
+
+// LiveView is the fleet's /progress payload: a point-in-time snapshot the
+// ops endpoint can poll from another goroutine while Serve runs.
+type LiveView struct {
+	Requests    int        `json:"requests"`
+	Served      int        `json:"served"`
+	SimClock    float64    `json:"sim_clock_seconds"`
+	Quarantines int        `json:"quarantines"`
+	Recoveries  int        `json:"recoveries"`
+	Slots       []SlotView `json:"slots"`
+}
+
+// Live snapshots the fleet mid-run. Safe to call concurrently with Serve.
+func (f *Fleet) Live() LiveView {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	lv := LiveView{
+		Requests:    f.o.Requests,
+		Served:      f.served,
+		SimClock:    f.simClock,
+		Quarantines: f.quarantines,
+		Recoveries:  f.recoveries,
+	}
+	for _, s := range f.slots {
+		lv.Slots = append(lv.Slots, SlotView{ID: s.id, State: s.state, Gen: s.gen, Seed: s.seed, Served: s.served})
+	}
+	return lv
+}
+
+func equalOutput(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

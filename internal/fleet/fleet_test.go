@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"r2c/internal/defense"
+	"r2c/internal/exec"
+	"r2c/internal/incident"
+	"r2c/internal/tir"
+	"r2c/internal/vm"
+	"r2c/internal/workload"
+)
+
+// runFleet executes one fleet run and returns the report, the deterministic
+// half as JSON, and the incident timeline as JSON.
+func runFleet(t *testing.T, o Options) (*Report, string, string) {
+	t.Helper()
+	ilog := incident.NewLog()
+	o.Incidents = ilog
+	fl, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fl.Serve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := json.Marshal(rep.Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc bytes.Buffer
+	if err := ilog.WriteJSON(&inc); err != nil {
+		t.Fatal(err)
+	}
+	return rep, string(sim), inc.String()
+}
+
+func webOptions(jobs int) Options {
+	return Options{
+		Module:   workload.NginxRequest(),
+		Cfg:      defense.R2CFull(),
+		Prof:     vm.EPYCRome(),
+		Variants: 4,
+		BaseSeed: 1,
+		Requests: 300,
+		MVEE:     2,
+		Attack: Schedule{
+			Start: 40, Every: 20,
+			Mode: ModeOverwrite, Target: "page64", Value: 0xbadc0ffee,
+			Adaptive: true,
+		},
+		Eng: exec.New(jobs, nil),
+	}
+}
+
+// TestSupervisedFleetDetectsAndHeals drives the whole closed loop under an
+// adaptive attacker: every landed corruption must be detected (no silent
+// corruptions), detection must quarantine, and every quarantined variant
+// must re-enter rotation re-diversified.
+func TestSupervisedFleetDetectsAndHeals(t *testing.T) {
+	rep, _, inc := runFleet(t, webOptions(0))
+	s := rep.Sim
+	if s.AttackRequests == 0 || s.InjectionsAccepted == 0 {
+		t.Fatalf("attack schedule never landed: %+v", s)
+	}
+	if s.Detections["divergence"] == 0 {
+		t.Fatalf("no divergence detections under attack: %+v", s.Detections)
+	}
+	if s.SilentCorruptions != 0 || s.AttackerWins != 0 {
+		t.Fatalf("supervised fleet let corruption through: %d silent, %d wins", s.SilentCorruptions, s.AttackerWins)
+	}
+	if s.Quarantines == 0 || s.Recoveries != s.Quarantines {
+		t.Fatalf("heal loop did not close: %d quarantines, %d recoveries", s.Quarantines, s.Recoveries)
+	}
+	if rep.Wall.Rebuilds == 0 || rep.Wall.ReplaceMeanSeconds <= 0 {
+		t.Fatalf("no wall time-to-replace measured: %+v", rep.Wall)
+	}
+	if s.ThroughputRPS <= 0 || s.LatencyP99 < s.LatencyP50 {
+		t.Fatalf("serving numbers inconsistent: %+v", s)
+	}
+	served := 0
+	for _, sl := range s.Slots {
+		served += sl.Served
+	}
+	// MVEE×2 runs every request on two variants.
+	if served != 2*s.Requests {
+		t.Fatalf("slot serve counts sum to %d, want %d", served, 2*s.Requests)
+	}
+	if !bytes.Contains([]byte(inc), []byte(`"kind": "divergence"`)) {
+		t.Fatal("incident timeline carries no divergence records")
+	}
+}
+
+// TestFleetDeterministicAcrossJobs pins the width-determinism contract: the
+// simulated-domain report and the incident timeline are byte-identical
+// whether replacement builds run serially or on a wide pool.
+func TestFleetDeterministicAcrossJobs(t *testing.T) {
+	_, sim1, inc1 := runFleet(t, webOptions(1))
+	_, sim4, inc4 := runFleet(t, webOptions(4))
+	if sim1 != sim4 {
+		t.Errorf("sim report differs between -jobs 1 and -jobs 4:\n%s\nvs\n%s", sim1, sim4)
+	}
+	if inc1 != inc4 {
+		t.Error("incident timeline differs between -jobs 1 and -jobs 4")
+	}
+}
+
+// TestSingleVariantAttackIsSilent is the control: without MVEE supervision
+// the same data-only corruption produces wrong responses and no detection
+// signal — the ground-truth gap the supervised fleet closes.
+func TestSingleVariantAttackIsSilent(t *testing.T) {
+	o := webOptions(0)
+	o.MVEE = 0
+	o.Requests = 120
+	o.Attack.Adaptive = false
+	rep, _, _ := runFleet(t, o)
+	s := rep.Sim
+	if len(s.Detections) != 0 || s.Quarantines != 0 {
+		t.Fatalf("data-only corruption should be invisible to a single variant: %+v", s)
+	}
+	if s.SilentCorruptions == 0 {
+		t.Fatalf("expected silent corruptions in the ground truth, got %+v", s)
+	}
+}
+
+// boundedLoopModule reads its loop bound from a global, so an overwrite
+// attack can hang the handler.
+func boundedLoopModule() *tir.Module {
+	mb := tir.NewModule("bounded")
+	mb.AddGlobal("bound", 8, 4)
+	main := mb.NewFunc("main", 0)
+	bp := main.AddrGlobal("bound")
+	n := main.Load(bp, 0)
+	acc := main.Const(0)
+	workload.LoopTo(main, 0, n, func(i tir.Reg) {
+		main.BinTo(acc, tir.OpAdd, acc, i)
+	})
+	main.Output(acc)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// TestHangDetectionQuarantines pins the liveness path end to end: a
+// corruption that sends the handler into an unbounded loop exhausts the
+// request fuel, is classified as a hang, quarantines the variant, and the
+// incident log records it.
+func TestHangDetectionQuarantines(t *testing.T) {
+	o := Options{
+		Module:   boundedLoopModule(),
+		Cfg:      defense.R2CFull(),
+		Prof:     vm.EPYCRome(),
+		Variants: 3,
+		BaseSeed: 9,
+		Requests: 200,
+		// Pin the arrival rate and quarantine window so the schedule extends
+		// well past the hung request's fuel burn and its rejoin time — the
+		// recovery must land inside the simulated run.
+		RateRPS:        5e6,
+		RebuildLatency: 2e-6,
+		RequestFuel:    50_000,
+		Attack: Schedule{
+			Start: 10, Every: 20,
+			Mode: ModeOverwrite, Target: "bound", Value: 1 << 40,
+		},
+		Eng: exec.New(0, nil),
+	}
+	rep, _, inc := runFleet(t, o)
+	s := rep.Sim
+	if s.Detections["hang"] == 0 {
+		t.Fatalf("hung request not detected: %+v", s.Detections)
+	}
+	if s.Quarantines == 0 || s.Recoveries == 0 {
+		t.Fatalf("hang did not quarantine and heal: %+v", s)
+	}
+	if !bytes.Contains([]byte(inc), []byte(`"kind": "hang"`)) {
+		t.Fatal("incident timeline carries no hang records")
+	}
+}
+
+// TestRerollHealKeepsLeakedAddressesValid is the fleet-level "more dynamism
+// is less effective" ablation: against a non-adaptive attacker, fresh-seed
+// rebuilds obsolete the leak after the first heal, while BTRA-only rerolls
+// leave the leaked layout valid — the attacker keeps landing and the fleet
+// churns through quarantines forever.
+func TestRerollHealKeepsLeakedAddressesValid(t *testing.T) {
+	base := func() Options {
+		o := webOptions(0)
+		o.Requests = 200
+		o.Attack.Start = 20
+		o.Attack.Adaptive = false
+		return o
+	}
+	ro := base()
+	ro.Heal = HealReroll
+	reroll, _, _ := runFleet(t, ro)
+	rebuild, _, _ := runFleet(t, base())
+	if reroll.Sim.Detections["divergence"] <= rebuild.Sim.Detections["divergence"] {
+		t.Fatalf("reroll healing should keep the leak alive: reroll %v vs rebuild %v",
+			reroll.Sim.Detections, rebuild.Sim.Detections)
+	}
+	if rebuild.Sim.SilentCorruptions != 0 || reroll.Sim.SilentCorruptions != 0 {
+		t.Fatal("supervised runs must not pass corrupted output")
+	}
+}

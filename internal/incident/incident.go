@@ -149,6 +149,22 @@ func FromFault(campaign, config string, seed uint64, trial int, via string, p *r
 	return r
 }
 
+// FromDivergence builds a sealed incident record for an MVEE divergence —
+// the supervisor-only signal the paper's Section 7.3 argues complements
+// R2C's reactive traps. reason is the supervisor's verdict text (which
+// variant diverged, and how: output mismatch, simulator error, or a liveness
+// hang); there is no single faulting process behind a divergence, so no
+// provenance or flight snapshot attaches.
+func FromDivergence(campaign, config string, seed uint64, trial int, via, reason string, instr uint64) Record {
+	r := Record{
+		Campaign: campaign, Config: config, Seed: seed, Trial: trial,
+		Kind: "divergence", Via: via,
+		Origin: reason, Instr: instr,
+	}
+	r.Seal()
+	return r
+}
+
 // Log collects incident records from concurrent producers (exec workers,
 // attack scenarios, the MVEE). It is unbounded by design: a bounded log
 // under concurrent adds would drop records nondeterministically, and every

@@ -45,6 +45,12 @@ type Engine struct {
 
 	// Campaign labels emitted incident records ("" defaults to "mvee").
 	Campaign string
+
+	// Trial labels emitted incident records with the supervised run's index
+	// — the serving fleet sets it to the request id so incidents from many
+	// supervised requests stay distinguishable. Variant identity is carried
+	// by each record's Seed.
+	Trial int
 }
 
 // New builds n variants of module m under cfg with seeds baseSeed,
@@ -78,16 +84,32 @@ type Verdict struct {
 	// Trapped is true when any variant detonated a booby trap (the R2C
 	// reactive signal, which the MVEE also surfaces).
 	Trapped bool
-	// Results holds each variant's execution result.
+	// Hung lists the variants that were still running when the slice budget
+	// expired — a liveness divergence (an attacker could hide a hijacked
+	// variant behind an infinite loop, as in crash/hang-tolerant
+	// brute-force probing). Their Results slots stay nil.
+	Hung []int
+	// Errs records each variant's simulator-level error text ("" = clean
+	// finish). Recording it on the verdict keeps an errored variant from
+	// ever comparing silently equal to a clean one; two variants that fail
+	// with the identical error are considered to agree.
+	Errs []string
+	// Results holds each variant's execution result; a slot is nil only
+	// for a hung variant or a simulator error that produced no result.
 	Results []*vm.Result
 }
 
 // Detected reports whether the supervisor would raise an alarm.
 func (v *Verdict) Detected() bool { return v.Diverged || v.Trapped }
 
-// Run executes every variant to completion and compares event streams.
-// Lockstep scheduling is modeled by running each variant in bounded slices
-// round-robin, so a hung variant cannot stall the comparison forever.
+// Run executes the variants in bounded slices round-robin (modeled lockstep
+// scheduling) and compares their observable event streams. A variant still
+// running when the maxSlices budget expires is reported as a liveness
+// divergence on the Verdict — never as an engine error — so a hung variant
+// cannot stall the comparison forever, and the traps and incidents recorded
+// by the variants that did finish survive alongside the hang signal. A
+// simulator-level error in one variant (a division by zero only that layout
+// reaches) is likewise a divergence, recorded as the variant's Errs text.
 func (e *Engine) Run(sliceInstrs, maxSlices int) (*Verdict, error) {
 	if sliceInstrs <= 0 {
 		sliceInstrs = 200_000
@@ -95,8 +117,13 @@ func (e *Engine) Run(sliceInstrs, maxSlices int) (*Verdict, error) {
 	if maxSlices <= 0 {
 		maxSlices = 10_000
 	}
-	v := &Verdict{Results: make([]*vm.Result, len(e.Variants))}
-	done := make([]bool, len(e.Variants))
+	n := len(e.Variants)
+	v := &Verdict{Results: make([]*vm.Result, n), Errs: make([]string, n)}
+	done := make([]bool, n)
+	// partial tracks each machine's live accumulated result, so a hung
+	// variant's retired-instruction count is available for its incident
+	// record even though its Results slot stays nil.
+	partial := make([]*vm.Result, n)
 	for slice := 0; slice < maxSlices; slice++ {
 		allDone := true
 		for i, va := range e.Variants {
@@ -105,15 +132,17 @@ func (e *Engine) Run(sliceInstrs, maxSlices int) (*Verdict, error) {
 			}
 			res, err := va.Mach.Run(uint64(sliceInstrs))
 			if err == vm.ErrInstructionBudget {
+				partial[i] = res
 				allDone = false
 				continue
 			}
 			if err != nil {
 				// Simulator-level error (e.g. the variant crashed into a
 				// division by zero only one layout reaches): a divergence.
-				v.Results[i] = res
-				done[i] = true
-				continue
+				// Record the error text so the comparison below can never
+				// mistake the errored run for a clean one, and tolerate a
+				// nil result — an errored variant is not "unfinished".
+				v.Errs[i] = err.Error()
 			}
 			v.Results[i] = res
 			done[i] = true
@@ -122,35 +151,83 @@ func (e *Engine) Run(sliceInstrs, maxSlices int) (*Verdict, error) {
 			break
 		}
 	}
+
+	// Liveness divergence: a variant that exhausted the slice budget is a
+	// detection signal (an attacker could hide behind a hang), not an
+	// engine failure that would discard the whole verdict.
+	hung := make([]bool, n)
+	for i := range e.Variants {
+		if done[i] {
+			continue
+		}
+		hung[i] = true
+		v.Hung = append(v.Hung, i)
+		v.Diverged = true
+		reason := fmt.Sprintf("variant %d exceeded the slice budget", i)
+		if v.Reason == "" {
+			v.Reason = reason
+		}
+		if v.Errs[i] == "" {
+			v.Errs[i] = reason
+		}
+		if e.Incidents != nil {
+			va := e.Variants[i]
+			var instr uint64
+			if partial[i] != nil {
+				instr = partial[i].Instructions
+			}
+			e.Incidents.Add(incident.FromDivergence(e.campaign(), va.Proc.Cfg.Name, va.Seed, e.Trial, "mvee", reason, instr))
+		}
+	}
+
 	for i, r := range v.Results {
 		if r == nil {
-			return nil, fmt.Errorf("mvee: variant %d did not finish", i)
+			continue
 		}
 		if r.Trap != nil {
 			v.Trapped = true
 			if e.Incidents != nil {
 				va := e.Variants[i]
-				e.Incidents.Add(incident.FromTrap(e.campaign(), va.Proc.Cfg.Name, va.Seed, i, "mvee", va.Proc, *r.Trap, r.Instructions))
+				e.Incidents.Add(incident.FromTrap(e.campaign(), va.Proc.Cfg.Name, va.Seed, e.Trial, "mvee", va.Proc, *r.Trap, r.Instructions))
 			}
 		}
 	}
 
-	// Compare the event streams pairwise against variant 0.
+	// Compare the event streams pairwise against variant 0. Error text
+	// compares first: an errored variant diverges from a clean one even
+	// when both produced no observable output.
 	base := v.Results[0]
-	for i, r := range v.Results[1:] {
-		if diff := compare(base, r); diff != "" {
+	for i := 1; i < n; i++ {
+		if hung[i] {
+			// Already reported (with its own incident) by the liveness pass;
+			// comparing its budget-expiry text would double-count it.
+			continue
+		}
+		r := v.Results[i]
+		var diff string
+		switch {
+		case v.Errs[i] != v.Errs[0]:
+			diff = fmt.Sprintf("simulator error %q vs %q", v.Errs[i], v.Errs[0])
+		case r == nil || base == nil:
+			// Hung on both sides (or hung vs errored-with-identical-text);
+			// already reported above, nothing left to compare.
+			continue
+		default:
+			diff = compare(base, r)
+		}
+		if diff != "" {
 			v.Diverged = true
-			v.Reason = fmt.Sprintf("variant %d vs 0: %s", i+1, diff)
+			reason := fmt.Sprintf("variant %d vs 0: %s", i, diff)
+			if v.Reason == "" {
+				v.Reason = reason
+			}
 			if e.Incidents != nil {
-				va := e.Variants[i+1]
-				rec := incident.Record{
-					Campaign: e.campaign(), Config: va.Proc.Cfg.Name,
-					Seed: va.Seed, Trial: i + 1,
-					Kind: "divergence", Via: "mvee",
-					Origin: v.Reason, Instr: r.Instructions,
+				va := e.Variants[i]
+				var instr uint64
+				if r != nil {
+					instr = r.Instructions
 				}
-				rec.Seal()
-				e.Incidents.Add(rec)
+				e.Incidents.Add(incident.FromDivergence(e.campaign(), va.Proc.Cfg.Name, va.Seed, e.Trial, "mvee", reason, instr))
 			}
 			return v, nil
 		}
@@ -192,15 +269,17 @@ func compare(a, b *vm.Result) string {
 // CorruptAll models an attacker whose malicious input induces the same
 // absolute-address write in every variant (the supervisor replicates
 // inputs, and a leaked address is only meaningful in the variant it leaked
-// from). Writes that fault in a variant are recorded as a pre-execution
-// perturbation of that variant rather than an error — the corruption lands
-// wherever the diversified layout puts that address.
-func (e *Engine) CorruptAll(addr, value uint64) {
-	for _, va := range e.Variants {
-		// Ignore errors: hitting an unmapped or protected page in some
-		// variant is exactly the asymmetry the MVEE later observes (the
-		// write simply has no effect there, or would have killed that
-		// variant — either way behaviour diverges).
-		_ = va.Proc.Space.Write64(addr, value)
+// from). The corruption lands wherever each diversified layout puts that
+// address; the returned slice records the per-variant outcome — landed[i]
+// is true when variant i's address space accepted the write, false when it
+// faulted (unmapped or protected there). A faulting write is deliberately
+// not an error: that asymmetry is exactly what the MVEE later observes,
+// and attack-pressure injectors use the record to report ground truth
+// about where the corruption actually landed.
+func (e *Engine) CorruptAll(addr, value uint64) []bool {
+	landed := make([]bool, len(e.Variants))
+	for i, va := range e.Variants {
+		landed[i] = va.Proc.Space.Write64(addr, value) == nil
 	}
+	return landed
 }

@@ -1,10 +1,13 @@
 package mvee
 
 import (
+	"strings"
 	"testing"
 
 	"r2c/internal/attack"
 	"r2c/internal/defense"
+	"r2c/internal/incident"
+	"r2c/internal/tir"
 	"r2c/internal/vm"
 	"r2c/internal/workload"
 )
@@ -111,6 +114,200 @@ func TestSingleProcessAttackVsMVEE(t *testing.T) {
 			if same {
 				t.Fatal("variants agreed on a corrupted run — no divergence signal")
 			}
+		}
+	}
+}
+
+// boundedLoopModule runs a loop whose trip count is read from the "bound"
+// global at runtime, so a corrupting write can send one variant into a
+// multi-billion-iteration loop while its siblings finish normally.
+func boundedLoopModule() *tir.Module {
+	mb := tir.NewModule("bounded")
+	mb.AddGlobal("bound", 8, 4)
+	main := mb.NewFunc("main", 0)
+	bp := main.AddrGlobal("bound")
+	n := main.Load(bp, 0)
+	acc := main.Const(0)
+	workload.LoopTo(main, 0, n, func(i tir.Reg) {
+		main.BinTo(acc, tir.OpAdd, acc, i)
+	})
+	main.Output(acc)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// TestHungVariantDiverges pins the liveness-divergence contract: a variant
+// that is still running when the slice budget expires must yield a Diverged
+// verdict (with the hung variant identified and an incident recorded) — not
+// a nil verdict or an engine error.
+func TestHungVariantDiverges(t *testing.T) {
+	e, err := New(boundedLoopModule(), defense.R2CFull(), 2, 7, vm.EPYCRome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Incidents = incident.NewLog()
+	// The corrupting input inflates variant 1's loop bound; variant 0 keeps
+	// the benign bound and finishes inside the first slice.
+	bound := e.Variants[1].Proc.Img.DataSyms["bound"]
+	if err := e.Variants[1].Proc.Space.Write64(bound.Addr, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Run(10_000, 5)
+	if err != nil {
+		t.Fatalf("hung variant must not be an engine error, got %v", err)
+	}
+	if !v.Diverged || !v.Detected() {
+		t.Fatalf("hung variant not flagged as divergence: %+v", v)
+	}
+	if len(v.Hung) != 1 || v.Hung[0] != 1 {
+		t.Fatalf("Hung = %v, want [1]", v.Hung)
+	}
+	if !strings.Contains(v.Reason, "exceeded the slice budget") {
+		t.Fatalf("reason %q does not name the slice budget", v.Reason)
+	}
+	if v.Results[0] == nil || v.Results[0].Output[0] != 6 {
+		t.Fatalf("finished variant's result lost: %+v", v.Results[0])
+	}
+	if v.Results[1] != nil {
+		t.Fatalf("hung variant should have no final result, got %+v", v.Results[1])
+	}
+	recs := e.Incidents.Records()
+	if len(recs) != 1 || recs[0].Kind != "divergence" || recs[0].Seed != e.Variants[1].Seed {
+		t.Fatalf("want one divergence incident for the hung variant's seed, got %+v", recs)
+	}
+	if recs[0].Instr == 0 {
+		t.Fatal("hung variant's incident lost its retired-instruction count")
+	}
+}
+
+// derefModule dereferences whatever address sits in the "ptr" global, so a
+// pre-run write can steer each variant at a different target.
+func derefModule() *tir.Module {
+	mb := tir.NewModule("deref")
+	mb.AddGlobal("data", 8, 0x5a)
+	mb.AddGlobal("ptr", 8, 0)
+	main := mb.NewFunc("main", 0)
+	pp := main.AddrGlobal("ptr")
+	p := main.Load(pp, 0)
+	v := main.Load(p, 0)
+	main.Output(v)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// TestTrapAndDivergenceBothSurface steers one variant's dereference into its
+// own BTDP guard page: the trap and the divergence must both appear on the
+// verdict, and the incident log must carry both records.
+func TestTrapAndDivergenceBothSurface(t *testing.T) {
+	e, err := New(derefModule(), defense.R2CFull(), 2, 21, vm.EPYCRome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Incidents = incident.NewLog()
+	// Variant 0 dereferences its own data word (benign); variant 1 is sent
+	// into one of its guard pages.
+	p0 := e.Variants[0].Proc
+	if err := p0.Space.Write64(p0.Img.DataSyms["ptr"].Addr, p0.Img.DataSyms["data"].Addr); err != nil {
+		t.Fatal(err)
+	}
+	p1 := e.Variants[1].Proc
+	if len(p1.GuardPages) == 0 {
+		t.Fatal("r2c-full variant has no guard pages")
+	}
+	if err := p1.Space.Write64(p1.Img.DataSyms["ptr"].Addr, p1.GuardPages[0]); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Run(10_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Trapped {
+		t.Fatalf("guard-page dereference did not trap: %+v", v)
+	}
+	if !v.Diverged {
+		t.Fatalf("trap asymmetry did not diverge: %+v", v)
+	}
+	kinds := map[string]int{}
+	for _, r := range e.Incidents.Records() {
+		kinds[r.Kind]++
+	}
+	if kinds["trap"] == 0 || kinds["divergence"] == 0 {
+		t.Fatalf("want both trap and divergence incidents, got %v", kinds)
+	}
+}
+
+// divModule divides by the "den" global, so zeroing one variant's copy makes
+// only that variant die with a simulator error.
+func divModule() *tir.Module {
+	mb := tir.NewModule("divm")
+	mb.AddGlobal("den", 8, 3)
+	main := mb.NewFunc("main", 0)
+	dp := main.AddrGlobal("den")
+	d := main.Load(dp, 0)
+	x := main.Const(99)
+	q := main.Bin(tir.OpDiv, x, d)
+	main.Output(q)
+	main.RetVoid()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// TestErroredVariantDiverges pins the hardened simulator-error branch: a
+// variant that dies with a VM error (division by zero only its corrupted
+// state reaches) must surface as a divergence carrying the error text, and
+// must never compare silently equal to the clean variant.
+func TestErroredVariantDiverges(t *testing.T) {
+	e, err := New(divModule(), defense.R2CFull(), 2, 33, vm.EPYCRome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Incidents = incident.NewLog()
+	den := e.Variants[1].Proc.Img.DataSyms["den"]
+	if err := e.Variants[1].Proc.Space.Write64(den.Addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Run(10_000, 0)
+	if err != nil {
+		t.Fatalf("one errored variant must not fail the supervisor, got %v", err)
+	}
+	if !v.Diverged {
+		t.Fatalf("errored variant not flagged: %+v", v)
+	}
+	if v.Errs[0] != "" || !strings.Contains(v.Errs[1], "division by zero") {
+		t.Fatalf("Errs = %q, want variant 1's division-by-zero text", v.Errs)
+	}
+	if !strings.Contains(v.Reason, "simulator error") {
+		t.Fatalf("reason %q does not name the simulator error", v.Reason)
+	}
+	if v.Results[0] == nil || v.Results[0].Output[0] != 33 {
+		t.Fatalf("clean variant's result lost: %+v", v.Results[0])
+	}
+	if e.Incidents.Len() == 0 {
+		t.Fatal("errored-variant divergence recorded no incident")
+	}
+}
+
+// TestCorruptAllRecordsLanding pins the injection ground truth: the leaked
+// variant always accepts the write at its own symbol address, and an address
+// mapped in no variant is rejected everywhere.
+func TestCorruptAllRecordsLanding(t *testing.T) {
+	e, err := New(attack.Victim(), defense.R2CFull(), 3, 500, vm.EPYCRome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := e.Variants[0].Proc.Img.DataSyms[attack.SymSecretKey]
+	landed := e.CorruptAll(key.Addr, attack.MagicArg)
+	if len(landed) != 3 {
+		t.Fatalf("landed has %d entries, want 3", len(landed))
+	}
+	if !landed[0] {
+		t.Fatal("the leaked variant rejected a write at its own symbol address")
+	}
+	for i, l := range e.CorruptAll(0xffff_ffff_f000, 1) {
+		if l {
+			t.Errorf("variant %d accepted a write at an unmapped address", i)
 		}
 	}
 }

@@ -26,6 +26,21 @@ func Apache(scale int) *tir.Module {
 	return webserver("apache", div(WebRequests, scale), true)
 }
 
+// NginxRequest builds the single-request variant of the nginx module: one
+// connection event (parse → route → respond with per-request heap churn) and
+// done. It is the unit of work the serving fleet executes per simulated
+// request, so fleet latency histograms measure exactly one request's cost.
+func NginxRequest() *tir.Module {
+	return webserver("nginx", 1, false)
+}
+
+// ApacheRequest is NginxRequest with the Apache handler chain — the deeper
+// per-request call profile, for fleet runs that want more R2C-sensitive
+// request handlers.
+func ApacheRequest() *tir.Module {
+	return webserver("apache", 1, true)
+}
+
 func webserver(name string, requests uint64, handlerChain bool) *tir.Module {
 	const pageWords = 8 // the 64-byte page served by the benchmark
 
