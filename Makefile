@@ -68,16 +68,17 @@ audit: $(BIN)/r2caudit
 	$(BIN)/r2caudit -config r2c -variants 8 -json victim > AUDIT_victim.json
 	$(BIN)/r2caudit -config r2c -variants 8 victim
 
-# Serving-fleet smoke: a bounded MVEE-supervised run with injected corruption
-# pressure. -require-recover makes the run itself the assertion — it exits
-# nonzero unless at least one variant was quarantined by a detection AND its
-# re-diversified replacement rejoined the fleet, so CI proves the whole
-# detect → quarantine → rebuild → resume loop end to end. The report (time to
-# replace, throughput, p99) prints on stdout and lands in SERVE_metrics.json.
+# Serving-fleet smoke: tools/servesmoke drives r2cserve through three bounded
+# MVEE-supervised runs under injected corruption pressure. The clean run keeps
+# -require-recover (exit nonzero unless detect → quarantine → rebuild → resume
+# happened) and is scraped mid-flight: /timeseries must serve well-formed ring
+# snapshots, /dashboard the self-contained observatory page, /healthz a
+# verdict. A -jobs 1 vs -jobs 8 pair must write byte-identical -timeseries-out
+# files, and a run with injected service-time degradation must trip the
+# windowed p99_over alert and exit 1 while the clean run's rules stay quiet.
+# The fleet report still lands in SERVE_metrics.json.
 serve-smoke: $(BIN)/r2cserve
-	$(BIN)/r2cserve -variants 4 -mvee 2 -requests 400 \
-		-attack overwrite -attack-start 50 -attack-every 25 \
-		-require-recover -metrics-out SERVE_metrics.json nginx
+	$(GO) run ./tools/servesmoke $(BIN)/r2cserve
 
 # The tier-1 gate: what CI (.github/workflows/ci.yml) runs. The exec engine
 # and the telemetry package (ops HTTP server, span sinks, registry) are cheap

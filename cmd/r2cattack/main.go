@@ -9,6 +9,7 @@
 //
 //	r2cattack [-trials N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome]
 //	          [-listen ADDR] [-forensics] [-flight N] [-incidents-out FILE] [-alert-rules FILE]
+//	          [-sample-every N] [-timeseries-out FILE]
 //	          [-baseline FILE] [-compare FILE] [-compare-warn]
 //	          <table3|prob|sidechannel|ablations|aocr|all>
 package main
@@ -50,6 +51,8 @@ func main() {
 	flightCap := flag.Int("flight", 0, "per-process flight-recorder depth in events (0 = off; -forensics defaults to 64); recent control flow is attached to every incident record")
 	incidentsOut := flag.String("incidents-out", "", "write the incident timeline (trap/fault/divergence records with flight snapshots) as JSON to FILE on exit")
 	alertRules := flag.String("alert-rules", "", "evaluate the declarative alert rules in FILE against the metrics registry at exit (and live on /alerts); any firing rule fails the run")
+	sampleEvery := flag.Int("sample-every", 0, "time-series sampling stride in completed simulation cells (0 = every 16); only cell-executing paths sample (e.g. -overheads) — Monte-Carlo-only scenarios leave the rings empty")
+	timeseriesOut := flag.String("timeseries-out", "", "write the sampled time-series rings as JSON to FILE on exit")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog deadline (0 = none); hung cells fail instead of hanging the campaign")
 	cellFuel := flag.Uint64("cell-fuel", 0, "per-cell VM instruction allowance (0 = the default budget)")
 	retries := flag.Int("retries", 0, "re-attempts per failed cell, each with a seed derived from the cell's content key")
@@ -144,6 +147,14 @@ func main() {
 	// restarts, persistent retries) to one compile+link each.
 	eng := exec.New(*jobs, sinks.Obs)
 	attack.UseBuildCache(eng.Cache)
+	// Time-series rings are cheap but not free; allocate them only when
+	// something will read them (a file, the ops endpoint, or alert rules).
+	var series *telemetry.SeriesSet
+	if *timeseriesOut != "" || *sampleEvery > 0 || *listen != "" || *alertRules != "" {
+		series = telemetry.NewSeriesSet(0, sinks.Obs)
+		eng.Series = series
+		eng.SampleEvery = *sampleEvery
+	}
 	// One incident log for the whole invocation: exec cells, attack
 	// scenarios and the MVEE demo all append to it, and the ops endpoint
 	// serves it live under /incidents.
@@ -188,8 +199,9 @@ func main() {
 			Registry:  sinks.Obs.Reg(),
 			Progress:  func() any { return eng.Progress() },
 			Incidents: func() any { return ilog.Timeline() },
+			Series:    series,
 			Alerts: func() any {
-				return telemetry.EvalAlerts(rules, sinks.Obs.Reg().Snapshot(), time.Since(start))
+				return telemetry.EvalAlertsSeries(rules, sinks.Obs.Reg().Snapshot(), series.Snapshot(nil, 0), time.Since(start))
 			},
 		})
 		if err != nil {
@@ -286,8 +298,23 @@ func main() {
 			fmt.Printf("[%d incident records written to %s]\n", ilog.Len(), *incidentsOut)
 		}
 	}
+	if *timeseriesOut != "" {
+		f, ferr := os.Create(*timeseriesOut)
+		if ferr == nil {
+			ferr = series.WriteJSON(f)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "r2cattack: timeseries: %v\n", ferr)
+			exitCode = 1
+		} else {
+			fmt.Printf("[time-series rings written to %s]\n", *timeseriesOut)
+		}
+	}
 	if len(rules) > 0 {
-		states := telemetry.EvalAlerts(rules, sinks.Obs.Reg().Snapshot(), time.Since(start))
+		states := telemetry.EvalAlertsSeries(rules, sinks.Obs.Reg().Snapshot(), series.Snapshot(nil, 0), time.Since(start))
 		telemetry.WriteAlertTable(os.Stdout, states)
 		if n := telemetry.FiringCount(states); n > 0 {
 			fmt.Fprintf(os.Stderr, "r2cattack: %d alert rule(s) firing\n", n)

@@ -12,6 +12,7 @@
 //	         [-listen ADDR] [-profile] [-profile-format table|folded] [-cell-timeout D]
 //	         [-cell-fuel N] [-retries N] [-journal FILE] [-resume] [-faults PLAN]
 //	         [-flight N] [-incidents-out FILE] [-alert-rules FILE]
+//	         [-sample-every N] [-timeseries-out FILE]
 //	         [-baseline FILE] [-compare FILE] [-compare-warn] <experiment>
 //
 // -baseline records the run's performance numbers as a committed baseline
@@ -91,8 +92,10 @@ func main() {
 	flightCap := flag.Int("flight", 0, "per-process flight-recorder depth in events (0 = off); recent control flow is attached to every incident record")
 	incidentsOut := flag.String("incidents-out", "", "write the incident timeline (trap/fault records with flight snapshots) as JSON to FILE on exit")
 	alertRules := flag.String("alert-rules", "", "evaluate the declarative alert rules in FILE against the metrics registry at exit (and live on /alerts); any firing rule fails the run")
+	sampleEvery := flag.Int("sample-every", 0, "time-series sampling stride in completed cells (0 = every 16); samples feed /timeseries, -timeseries-out and windowed alert rules")
+	timeseriesOut := flag.String("timeseries-out", "", "write the deterministic time-series rings as JSON to FILE on exit (byte-identical at any -jobs width)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-profile] [-profile-format table|folded] [-cell-timeout D] [-cell-fuel N] [-retries N] [-journal FILE] [-resume] [-faults PLAN] [-flight N] [-incidents-out FILE] [-alert-rules FILE] [-baseline FILE] [-compare FILE] [-compare-warn] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: r2cbench [-scale N] [-runs N] [-metrics-out FILE] [-trace FILE] [-trace-format jsonl|chrome] [-listen ADDR] [-profile] [-profile-format table|folded] [-cell-timeout D] [-cell-fuel N] [-retries N] [-journal FILE] [-resume] [-faults PLAN] [-flight N] [-incidents-out FILE] [-alert-rules FILE] [-sample-every N] [-timeseries-out FILE] [-baseline FILE] [-compare FILE] [-compare-warn] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments:")
 		for _, n := range knownExperiments() {
 			fmt.Fprintf(os.Stderr, " %s", n)
@@ -218,6 +221,14 @@ func main() {
 	eng.Retries = *retries
 	eng.Backoff = *retryBackoff
 	eng.Faults = plan
+	// Time-series rings: wired whenever something will read them — the ops
+	// endpoint, the -timeseries-out artifact, or a windowed alert rule.
+	var series *telemetry.SeriesSet
+	if *timeseriesOut != "" || *sampleEvery > 0 || *listen != "" || *alertRules != "" {
+		series = telemetry.NewSeriesSet(0, sinks.Obs)
+		eng.Series = series
+		eng.SampleEvery = *sampleEvery
+	}
 
 	if *resume && *journalPath == "" {
 		*journalPath = defaultJournal
@@ -247,8 +258,9 @@ func main() {
 			Progress:  func() any { return eng.Progress() },
 			Incidents: func() any { return ilog.Timeline() },
 			Alerts: func() any {
-				return telemetry.EvalAlerts(rules, sinks.Obs.Reg().Snapshot(), time.Since(invocationStart))
+				return telemetry.EvalAlertsSeries(rules, sinks.Obs.Reg().Snapshot(), series.Snapshot(nil, 0), time.Since(invocationStart))
 			},
+			Series: series,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "r2cbench: %v\n", err)
@@ -328,8 +340,23 @@ func main() {
 			fmt.Printf("[%d incident records written to %s]\n", ilog.Len(), *incidentsOut)
 		}
 	}
+	if *timeseriesOut != "" {
+		f, ferr := os.Create(*timeseriesOut)
+		if ferr == nil {
+			ferr = series.WriteJSON(f)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "r2cbench: timeseries: %v\n", ferr)
+			exitCode = 1
+		} else {
+			fmt.Printf("[time-series rings written to %s]\n", *timeseriesOut)
+		}
+	}
 	if len(rules) > 0 {
-		states := telemetry.EvalAlerts(rules, sinks.Obs.Reg().Snapshot(), time.Since(invocationStart))
+		states := telemetry.EvalAlertsSeries(rules, sinks.Obs.Reg().Snapshot(), series.Snapshot(nil, 0), time.Since(invocationStart))
 		telemetry.WriteAlertTable(os.Stdout, states)
 		if n := telemetry.FiringCount(states); n > 0 {
 			fmt.Fprintf(os.Stderr, "r2cbench: %d alert rule(s) firing\n", n)

@@ -19,7 +19,9 @@
 //	         [-slice N] [-max-slices N] [-fuel N] [-jobs N] [-json]
 //	         [-require-recover] [-metrics-out FILE] [-trace FILE]
 //	         [-trace-format jsonl|chrome] [-flight N] [-incidents-out FILE]
-//	         [-listen ADDR] <nginx|apache|victim|FILE.tir>
+//	         [-listen ADDR] [-alert-rules FILE] [-sample-every SEC]
+//	         [-timeseries-out FILE] [-degrade-slot N -degrade-after N -degrade-growth F]
+//	         <nginx|apache|victim|FILE.tir>
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"r2c/internal/attack"
 	"r2c/internal/defense"
@@ -67,7 +70,13 @@ func main() {
 	traceFormat := flag.String("trace-format", telemetry.TraceJSONL, "trace file format: jsonl or chrome (chrome://tracing / Perfetto)")
 	flightCap := flag.Int("flight", 0, "arm a per-process control-flow flight recorder with N events (0 disables)")
 	incidentsOut := flag.String("incidents-out", "", "write the incident timeline (trap/fault/hang/divergence records) as JSON to FILE on exit")
-	listen := flag.String("listen", "", "serve the live ops endpoint (/metrics, /progress, /incidents, /healthz) on ADDR, e.g. :8642")
+	listen := flag.String("listen", "", "serve the live ops endpoint (/metrics, /progress, /incidents, /timeseries, /dashboard, /healthz) on ADDR, e.g. :8642")
+	alertRules := flag.String("alert-rules", "", "evaluate the declarative alert rules in FILE at exit (and live on /alerts); windowed functions read the sampled time series; any firing rule fails the run")
+	sampleEvery := flag.Float64("sample-every", 0, "time-series sampling period in simulated seconds (0 = auto ≈ 240 points per run, negative disables); samples feed /timeseries, /dashboard, windowed alerts and -timeseries-out")
+	timeseriesOut := flag.String("timeseries-out", "", "write the sampled time-series rings as JSON to FILE on exit (byte-identical at any -jobs width)")
+	degradeSlot := flag.Int("degrade-slot", 0, "fault injection: variant slot whose service time degrades (with -degrade-growth)")
+	degradeAfter := flag.Int("degrade-after", 0, "fault injection: first request index of the degradation")
+	degradeGrowth := flag.Float64("degrade-growth", 0, "fault injection: per-request service-time growth factor > 1 on the degraded slot (0 = off); output stays correct, only timing drifts")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: r2cserve [flags] <nginx|apache|victim|FILE.tir>")
 		flag.PrintDefaults()
@@ -85,6 +94,16 @@ func main() {
 	mod, err := resolveModule(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+	// Alert rules are parsed before any work runs so a malformed file fails
+	// fast, like an unknown workload name.
+	var rules []telemetry.AlertRule
+	if *alertRules != "" {
+		rules, err = telemetry.LoadAlertRules(*alertRules)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "r2cserve:", err)
+			os.Exit(2)
+		}
 	}
 	if *atkMode == fleet.ModeHijack && flag.Arg(0) != "victim" {
 		fatal(fmt.Errorf("the hijack attack needs the victim workload (it targets the victim's admin_ptr/secret_key assets)"))
@@ -127,20 +146,32 @@ func main() {
 			Value:    *atkValue,
 			Adaptive: *adaptive,
 		},
-		Eng:       eng,
-		Obs:       sinks.Obs,
-		Incidents: ilog,
+		Eng:         eng,
+		Obs:         sinks.Obs,
+		Incidents:   ilog,
+		SampleEvery: *sampleEvery,
+		Degrade: fleet.Degrade{
+			Slot:   *degradeSlot,
+			After:  *degradeAfter,
+			Growth: *degradeGrowth,
+		},
 	})
 	if err != nil {
 		fatal(err)
 	}
 
+	start := time.Now()
 	var ops *telemetry.OpsServer
 	if *listen != "" {
 		ops, err = telemetry.ServeOpsSources(*listen, telemetry.OpsSources{
 			Registry:  sinks.Obs.Reg(),
 			Progress:  func() any { return fl.Live() },
 			Incidents: func() any { return ilog.Timeline() },
+			Series:    fl.Series(),
+			Health:    fl.Health,
+			Alerts: func() any {
+				return telemetry.EvalAlertsSeries(rules, sinks.Obs.Reg().Snapshot(), fl.Series().Snapshot(nil, 0), time.Since(start))
+			},
 		})
 		if err != nil {
 			fatal(err)
@@ -175,9 +206,32 @@ func main() {
 		}
 		fmt.Printf("[%d incident records written to %s]\n", ilog.Len(), *incidentsOut)
 	}
+	if *timeseriesOut != "" {
+		f, ferr := os.Create(*timeseriesOut)
+		if ferr == nil {
+			ferr = fl.Series().WriteJSON(f)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "r2cserve: timeseries: %v\n", ferr)
+			os.Exit(1)
+		}
+		fmt.Printf("[time-series rings written to %s]\n", *timeseriesOut)
+	}
 	// Ops server first, so no scrape can race the final metrics snapshot.
 	if err := ops.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "r2cserve: ops shutdown: %v\n", err)
+	}
+	exitCode := 0
+	if len(rules) > 0 {
+		states := telemetry.EvalAlertsSeries(rules, sinks.Obs.Reg().Snapshot(), fl.Series().Snapshot(nil, 0), time.Since(start))
+		telemetry.WriteAlertTable(os.Stdout, states)
+		if n := telemetry.FiringCount(states); n > 0 {
+			fmt.Fprintf(os.Stderr, "r2cserve: %d alert rule(s) firing\n", n)
+			exitCode = 1
+		}
 	}
 	if err := sinks.Close(); err != nil {
 		fatal(err)
@@ -187,6 +241,7 @@ func main() {
 			rep.Sim.Quarantines, rep.Sim.Recoveries)
 		os.Exit(1)
 	}
+	os.Exit(exitCode)
 }
 
 // resolveModule maps the positional argument to a per-request module: the

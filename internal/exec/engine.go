@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -99,10 +100,23 @@ type Engine struct {
 	// recorded the incident.
 	Incidents *incident.Log
 
+	// Series, when set, receives deterministic time-series samples from the
+	// ordered merge loop: the trajectory axis is the cumulative completed
+	// cell count (never wall clock), so -timeseries-out artifacts are
+	// byte-identical at any -jobs width. SampleEvery is the cell stride
+	// between samples (0 = 16).
+	Series      *telemetry.SeriesSet
+	SampleEvery int
+
 	// prog backs Progress; batchSeq keys one "exec.batch" root span per
 	// RunCells call. Both are observational only.
 	prog     progressState
 	batchSeq atomic.Uint64
+
+	// seriesMu orders Series sampling (and the cumulative cell counter)
+	// across concurrent RunCells calls.
+	seriesMu  sync.Mutex
+	cellsDone int
 }
 
 // New returns an engine with a fresh cache and a pool of the given width
@@ -262,11 +276,42 @@ func (e *Engine) RunCells(ctx context.Context, cells []Cell) ([]*vm.Result, erro
 	// in submission order is what keeps the histogram — and every baseline
 	// derived from it — byte-identical between -jobs 1 and -jobs 8.
 	cyc := e.Obs.LogHist("exec.run.cycles", telemetry.CycleScheme)
+	if cyc == nil && e.Series != nil {
+		// No observer, but a series sampler: the sampled quantiles still need
+		// a histogram to fold into, so own a private one for this batch.
+		cyc = telemetry.NewLogHist(telemetry.CycleScheme)
+	}
+	e.seriesMu.Lock()
+	every := e.SampleEvery
+	if every <= 0 {
+		every = 16
+	}
 	for _, res := range results {
-		if res != nil {
-			cyc.Observe(res.Cycles)
+		if res == nil {
+			continue
+		}
+		cyc.Observe(res.Cycles)
+		// Time-series sampling shares the merge loop's determinism argument:
+		// the axis is the submission-ordered completed-cell count and the
+		// sampled quantiles come from the merge-ordered histogram, so the
+		// rings never see scheduling. Wall-clock series (exec.cell.seconds)
+		// are deliberately not sampled — they would break the byte-identical
+		// -timeseries-out contract.
+		if e.Series != nil {
+			e.cellsDone++
+			if e.cellsDone%every == 0 {
+				t := float64(e.cellsDone)
+				snap := cyc.Snapshot()
+				e.Series.Sample(t, "exec.cells.done", t)
+				e.Series.Sample(t, "exec.run.cycles.p50", snap.Quantile(0.50))
+				e.Series.Sample(t, "exec.run.cycles.p99", snap.Quantile(0.99))
+				if snap.Count > 0 {
+					e.Series.Sample(t, "exec.run.cycles.mean", snap.Sum/float64(snap.Count))
+				}
+			}
 		}
 	}
+	e.seriesMu.Unlock()
 	merge := batch.Child("merge", 0)
 	merge.SetAttr("cells", len(cells))
 	var err error

@@ -118,6 +118,45 @@ func TestAlertRuleFiresOnFaultedRun(t *testing.T) {
 	}
 }
 
+// The engine's time-series rings live on the submission-ordered merge loop,
+// so their contents — like the incident timeline — are byte-identical at any
+// worker-pool width.
+func TestEngineSeriesDeterministicAcrossWidths(t *testing.T) {
+	m := testModule(t)
+	run := func(jobs int) []byte {
+		eng := exec.New(jobs, nil)
+		eng.Series = telemetry.NewSeriesSet(0, nil)
+		eng.SampleEvery = 4
+		if _, err := eng.RunCells(context.Background(), cellsN(m, 12)); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := eng.Series.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := run(1)
+	wide := run(8)
+	if !bytes.Equal(serial, wide) {
+		t.Fatalf("engine time series differ between -jobs 1 and -jobs 8:\n%s\nvs\n%s", serial, wide)
+	}
+	var snap telemetry.SeriesSnapshot
+	if err := json.Unmarshal(serial, &snap); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, sd := range snap.Series {
+		byName[sd.Name] = len(sd.Points)
+	}
+	// 12 cells at stride 4 = 3 ticks per series.
+	for _, name := range []string{"exec.cells.done", "exec.run.cycles.p50", "exec.run.cycles.p99", "exec.run.cycles.mean"} {
+		if byName[name] != 3 {
+			t.Errorf("series %s has %d points, want 3 (all: %v)", name, byName[name], byName)
+		}
+	}
+}
+
 // Satellite (d): the ops endpoints must be safe to scrape while the engine is
 // mutating the registry, the progress tracker and the incident log from its
 // worker pool. Run under -race this is a data-race detector for the whole
@@ -127,10 +166,14 @@ func TestOpsServerConcurrentScrapes(t *testing.T) {
 	obs := &telemetry.Observer{Registry: reg, FlightCap: 16}
 	eng := exec.New(4, obs)
 	eng.Incidents = incident.NewLog()
+	eng.Series = telemetry.NewSeriesSet(0, obs)
+	eng.SampleEvery = 1
 	srv, err := telemetry.ServeOpsSources("127.0.0.1:0", telemetry.OpsSources{
 		Registry:  reg,
 		Progress:  func() any { return eng.Progress() },
 		Incidents: func() any { return eng.Incidents.Timeline() },
+		Series:    eng.Series,
+		Health:    func() string { return "" },
 		Alerts: func() any {
 			return telemetry.EvalAlerts(nil, reg.Snapshot(), time.Second)
 		},
@@ -142,7 +185,7 @@ func TestOpsServerConcurrentScrapes(t *testing.T) {
 
 	done := make(chan struct{})
 	var wg sync.WaitGroup
-	for _, path := range []string{"/metrics", "/progress", "/incidents", "/alerts"} {
+	for _, path := range []string{"/metrics", "/progress", "/incidents", "/alerts", "/timeseries", "/timeseries?series=exec.run&last=4", "/dashboard", "/healthz"} {
 		wg.Add(1)
 		go func(path string) {
 			defer wg.Done()

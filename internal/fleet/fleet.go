@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -94,6 +95,33 @@ func (s Schedule) active(req int) bool {
 	return s.Mode != "" && s.Every > 0 && req >= s.Start && (req-s.Start)%s.Every == 0
 }
 
+// Degrade scripts a deterministic synthetic degradation of one variant: from
+// request After on, slot Slot's modeled service seconds are multiplied by
+// Growth^(req-After) — a compounding slowdown modeling a resource leak or a
+// data-only corruption that costs time instead of correctness. It is the
+// fault-injection counterpart of Schedule for the *temporal* detectors: the
+// EWMA drift early warning and the windowed alert rules see it long before
+// any output diverges. Growth <= 1 disables it.
+type Degrade struct {
+	Slot   int
+	After  int
+	Growth float64
+}
+
+// factorFor returns the service-time multiplier for slot id at request req.
+// The exponent is capped so a long schedule cannot overflow the multiplier
+// into Inf (which would poison every downstream histogram).
+func (d Degrade) factorFor(id, req int) float64 {
+	if d.Growth <= 1 || id != d.Slot || req < d.After {
+		return 1
+	}
+	f := math.Pow(d.Growth, float64(req-d.After))
+	if f > 1e4 {
+		return 1e4
+	}
+	return f
+}
+
 // Options configures a fleet run.
 type Options struct {
 	Module *tir.Module
@@ -130,6 +158,19 @@ type Options struct {
 
 	Attack Schedule
 
+	// Degrade scripts a synthetic per-variant slowdown (see Degrade) — the
+	// injected degradation the drift detector and windowed alerts exist to
+	// catch. Zero value disables it.
+	Degrade Degrade
+
+	// SampleEvery is the simulated seconds between time-series ticks. 0
+	// auto-derives ~240 ticks across the expected schedule; < 0 disables
+	// sampling. Ticks live on the simulated clock, so the sampled series
+	// are byte-identical at any -jobs width. SeriesCap bounds each ring
+	// (0 = telemetry.DefaultSeriesCap).
+	SampleEvery float64
+	SeriesCap   int
+
 	// Eng runs replacement builds (and the initial fan-out) through the
 	// worker pool and build cache. Required.
 	Eng *exec.Engine
@@ -162,9 +203,35 @@ type slot struct {
 	served   int
 	quars    int
 
+	// lastSvc is the variant's most recent per-request modeled seconds;
+	// drift is its EWMA anomaly tracker. Both reset when a heal rejoins —
+	// a fresh image has a fresh timing baseline.
+	lastSvc float64
+	drift   driftState
+
 	heal     chan healDone
 	wallQuar time.Time
 }
+
+// driftState is one variant's EWMA sojourn model: exponentially-weighted
+// mean and variance of its per-request service seconds, plus the one-shot
+// fired latch (one early warning per slot generation, not a storm).
+type driftState struct {
+	mean, varz float64
+	n          int
+	fired      bool
+}
+
+// EWMA drift detector tuning: the smoothing constant, the samples a fresh
+// baseline needs before z-scores mean anything, and the z threshold. The
+// variance floor (relative to the mean) keeps z finite on deterministic
+// workloads whose benign service time never varies at all.
+const (
+	driftAlpha   = 0.3
+	driftWarmup  = 4
+	driftZ       = 6.0
+	driftSdFloor = 1e-3
+)
 
 type healDone struct {
 	img  *image.Image
@@ -199,6 +266,11 @@ type Fleet struct {
 	golden   []uint64
 	goldenS  float64
 	rep      *Report
+
+	// series collects the deterministic sim-tick trajectories (/timeseries,
+	// -timeseries-out, windowed alerts). It has its own lock, so the ops
+	// endpoint snapshots it without touching the fleet mutex.
+	series *telemetry.SeriesSet
 }
 
 // New validates the options and prepares a fleet (no builds yet — Serve
@@ -238,6 +310,12 @@ func New(o Options) (*Fleet, error) {
 	if o.Attack.Mode == ModeOverwrite && o.Attack.Every > 0 && o.Attack.Target == "" {
 		return nil, errors.New("fleet: overwrite attack needs a target symbol")
 	}
+	if o.Degrade.Growth != 0 && o.Degrade.Growth <= 1 {
+		return nil, fmt.Errorf("fleet: degrade growth must exceed 1 to degrade, got %g", o.Degrade.Growth)
+	}
+	if o.Degrade.Growth > 1 && (o.Degrade.Slot < 0 || o.Degrade.Slot >= o.Variants) {
+		return nil, fmt.Errorf("fleet: degrade slot %d out of range [0,%d)", o.Degrade.Slot, o.Variants)
+	}
 	if o.SliceInstrs <= 0 {
 		o.SliceInstrs = 100_000
 	}
@@ -261,7 +339,37 @@ func New(o Options) (*Fleet, error) {
 	if f.campaign == "" {
 		f.campaign = "fleet/" + o.Module.Name
 	}
+	f.series = telemetry.NewSeriesSet(o.SeriesCap, o.Obs)
 	return f, nil
+}
+
+// Series exposes the fleet's time-series rings for the ops endpoint and
+// -timeseries-out. Safe to snapshot concurrently with Serve.
+func (f *Fleet) Series() *telemetry.SeriesSet { return f.series }
+
+// Health returns "" while every variant is serving, and a degradation
+// reason while any is quarantined (heal in flight) or failed — the /healthz
+// signal a load balancer would use to drain a degraded fleet. Safe to call
+// concurrently with Serve.
+func (f *Fleet) Health() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	quar, failed := 0, 0
+	for _, s := range f.slots {
+		switch s.state {
+		case stateQuarantined:
+			quar++
+		case stateFailed:
+			failed++
+		}
+	}
+	switch {
+	case failed > 0:
+		return fmt.Sprintf("%d variant(s) failed permanently", failed)
+	case quar > 0:
+		return fmt.Sprintf("%d variant(s) quarantined, heal in flight", quar)
+	}
+	return ""
 }
 
 // buildInitial links the fleet's starting images. Rebuild-healed fleets
@@ -346,6 +454,15 @@ func (f *Fleet) Serve(ctx context.Context) (*Report, error) {
 		// enough that degraded capacity is visible in the tail latency.
 		rebuildLat = 20 * f.goldenS
 	}
+	// Time-series tick cadence: ticks live on the simulated clock, emitted
+	// from the serve loop right after it advances, so every sampled value is
+	// a deterministic function of the schedule — never of -jobs width.
+	tickEvery := o.SampleEvery
+	if tickEvery == 0 {
+		// Auto: ~240 ticks across the expected makespan (sparkline density).
+		tickEvery = float64(o.Requests) / rate / 240
+	}
+	nextTick := tickEvery
 
 	arrivals := rng.New(o.BaseSeed ^ 0xf1ee7a27c0ffee42)
 	// With an observer the histograms live in its registry (exported via
@@ -403,6 +520,15 @@ func (f *Fleet) Serve(ctx context.Context) (*Report, error) {
 		if err := f.serveRequest(ctx, i, chosen, arrival, start, rebuildLat, sojournH, serviceH); err != nil {
 			return nil, err
 		}
+		for tickEvery > 0 && nextTick <= f.simClock {
+			f.sampleTick(nextTick, sojournH)
+			nextTick += tickEvery
+		}
+	}
+	if tickEvery > 0 {
+		// One final tick at the makespan, so exit-time windowed alerts and
+		// -timeseries-out see the run's end state.
+		f.sampleTick(f.simClock, sojournH)
 	}
 
 	// Join stragglers: replacement builds still in flight at shutdown are
@@ -444,6 +570,79 @@ func (f *Fleet) Serve(ctx context.Context) (*Report, error) {
 	rep.Wall.ElapsedSeconds = time.Since(wallStart).Seconds()
 	rep.Publish(o.Obs)
 	return rep, nil
+}
+
+// sampleTick records one deterministic time-series tick at simulated time t.
+// It runs on the serve goroutine and reads only serve-loop-owned state (the
+// sojourn histogram is fed exclusively by this loop), so the resulting rings
+// are byte-identical at any -jobs width. Wall-clock values (replace
+// latency, cache economy) are deliberately absent: they belong to the live
+// /metrics view, not to a deterministic artifact.
+func (f *Fleet) sampleTick(t float64, sojournH *telemetry.LogHist) {
+	f.series.Sample(t, "fleet.served", float64(f.served))
+	if t > 0 {
+		f.series.Sample(t, "fleet.throughput.rps", float64(f.served)/t)
+	}
+	snap := sojournH.Snapshot()
+	f.series.Sample(t, "fleet.sojourn.p50", snap.Quantile(0.50))
+	f.series.Sample(t, "fleet.sojourn.p99", snap.Quantile(0.99))
+	f.series.Sample(t, "fleet.quarantines", float64(f.quarantines))
+	f.series.Sample(t, "fleet.recoveries", float64(f.recoveries))
+	f.series.Sample(t, "fleet.attacks", float64(f.rep.Sim.AttackRequests))
+	f.series.Sample(t, "fleet.drift.warnings", float64(f.rep.Sim.DriftWarnings))
+	quar := 0
+	for _, s := range f.slots {
+		if s.state == stateQuarantined {
+			quar++
+		}
+	}
+	f.series.Sample(t, "fleet.slots.quarantined", float64(quar))
+	for _, s := range f.slots {
+		if s.lastSvc > 0 {
+			f.series.Sample(t, telemetry.Key("fleet.variant.sojourn", "slot", strconv.Itoa(s.id)), s.lastSvc)
+		}
+	}
+}
+
+// observeDrift feeds one per-variant service-time sample into the slot's
+// EWMA model and emits the early-warning incident when the z-score clears
+// the threshold — the temporal detector that sees a degrading variant long
+// before its output diverges. One warning per slot generation: the latch
+// (and the whole baseline) resets when a heal rejoins.
+func (f *Fleet) observeDrift(s *slot, trial int, v float64) {
+	d := &s.drift
+	d.n++
+	if d.n == 1 {
+		d.mean, d.varz = v, 0
+		return
+	}
+	sd := math.Sqrt(d.varz)
+	if fl := driftSdFloor * math.Abs(d.mean); sd < fl {
+		sd = fl
+	}
+	if sd < 1e-12 {
+		sd = 1e-12
+	}
+	z := (v - d.mean) / sd
+	if d.n > driftWarmup && !d.fired && math.Abs(z) >= driftZ {
+		d.fired = true
+		f.rep.Sim.DriftWarnings++
+		f.o.Obs.Counter("fleet.drift.warnings").Inc()
+		f.o.Obs.Emit("fleet-drift", map[string]any{"slot": s.id, "gen": s.gen, "z": z, "trial": trial})
+		if f.o.Incidents != nil {
+			rec := incident.Record{
+				Campaign: f.campaign, Config: f.o.Cfg.Name, Seed: s.seed, Trial: trial,
+				Kind: "drift", Via: "fleet-ewma",
+				Origin: fmt.Sprintf("slot %d gen %d sojourn drift: service %.6gs vs ewma %.6gs (z=%.1f)",
+					s.id, s.gen, v, d.mean, z),
+			}
+			rec.Seal()
+			f.o.Incidents.Add(rec)
+		}
+	}
+	delta := v - d.mean
+	d.mean += driftAlpha * delta
+	d.varz = (1 - driftAlpha) * (d.varz + driftAlpha*delta*delta)
 }
 
 // expInterarrival draws one exponential interarrival gap.
@@ -555,10 +754,12 @@ func (f *Fleet) serveRequest(ctx context.Context, i int, chosen []*slot, arrival
 
 	var (
 		service  float64
-		detected []int // indices into chosen to quarantine
+		perVar   []float64 // per-chosen-slot modeled seconds (drift input)
+		detected []int     // indices into chosen to quarantine
 		kinds    []string
 		output   []uint64
 	)
+	perVar = make([]float64, len(chosen))
 	if f.width >= 2 {
 		me := &mvee.Engine{Incidents: o.Incidents, Campaign: f.campaign, Trial: i}
 		for j, s := range chosen {
@@ -576,6 +777,11 @@ func (f *Fleet) serveRequest(ctx context.Context, i int, chosen []*slot, arrival
 		if err != nil {
 			return fmt.Errorf("fleet: request %d: supervisor: %w", i, err)
 		}
+		for j, r := range verdict.Results {
+			if r != nil {
+				perVar[j] = r.Seconds(o.Prof)
+			}
+		}
 		service, detected, kinds, output = f.judgeVerdict(verdict)
 	} else {
 		for _, w := range writes {
@@ -583,9 +789,22 @@ func (f *Fleet) serveRequest(ctx context.Context, i int, chosen []*slot, arrival
 		}
 		var kind string
 		service, kind, output = f.runSingle(ctx, i, chosen[0], procs[0])
+		perVar[0] = service
 		if kind != "" {
 			detected = []int{0}
 			kinds = []string{kind}
+		}
+	}
+
+	// Synthetic degradation: scale the degraded slot's modeled seconds (and
+	// the request's service time with it — lockstep waits for the slowest
+	// member). Output is untouched, so nothing here can trip the MVEE.
+	for j, s := range chosen {
+		if fac := o.Degrade.factorFor(s.id, i); fac > 1 {
+			perVar[j] *= fac
+			if perVar[j] > service {
+				service = perVar[j]
+			}
 		}
 	}
 
@@ -618,6 +837,22 @@ func (f *Fleet) serveRequest(ctx context.Context, i int, chosen []*slot, arrival
 	}
 	f.mu.Unlock()
 	o.Obs.Counter("fleet.requests").Inc()
+
+	// Drift early warning: feed each clean member's modeled seconds into its
+	// slot's EWMA baseline. Detected members are skipped — they are about to
+	// quarantine anyway, and a corrupted run's timing must not poison the
+	// baseline the *next* requests are judged against.
+	detSet := map[int]bool{}
+	for _, j := range detected {
+		detSet[j] = true
+	}
+	for j, s := range chosen {
+		if detSet[j] || perVar[j] <= 0 {
+			continue
+		}
+		s.lastSvc = perVar[j]
+		f.observeDrift(s, i, perVar[j])
+	}
 
 	for k, j := range detected {
 		f.rep.Sim.Detections[kinds[k]]++
@@ -802,6 +1037,10 @@ func (f *Fleet) rejoinDue(t, rebuildLat float64, replaceH *telemetry.LogHist) er
 		s.gen++
 		s.state = stateServing
 		s.freeAt = s.rejoinAt
+		// A fresh image has a fresh timing baseline: reset the drift model
+		// so the new generation is not judged against the old one's EWMA.
+		s.drift = driftState{}
+		s.lastSvc = 0
 		f.recoveries++
 		f.mu.Unlock()
 		replaceH.Observe(wall)

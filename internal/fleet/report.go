@@ -47,11 +47,14 @@ type SimReport struct {
 	SilentCorruptions  int            `json:"silent_corruptions"`
 	AttackerWins       int            `json:"attacker_wins"`
 
-	Quarantines  int          `json:"quarantines"`
-	Recoveries   int          `json:"recoveries"`
-	HealFailures int          `json:"heal_failures"`
-	Stalls       int          `json:"stalls"`
-	Slots        []SlotReport `json:"slots"`
+	Quarantines  int `json:"quarantines"`
+	Recoveries   int `json:"recoveries"`
+	HealFailures int `json:"heal_failures"`
+	Stalls       int `json:"stalls"`
+	// DriftWarnings counts EWMA sojourn-drift early warnings — temporal
+	// anomalies flagged before any output-level detection fired.
+	DriftWarnings int          `json:"drift_warnings"`
+	Slots         []SlotReport `json:"slots"`
 }
 
 // WallReport holds the measured (non-deterministic) side: the real seconds

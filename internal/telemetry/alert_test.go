@@ -153,6 +153,128 @@ func TestEvalAlertsElapsedClamp(t *testing.T) {
 	}
 }
 
+func TestParseWindowedAlertRules(t *testing.T) {
+	rules := mustParseRules(t, `
+churn:  rate_over(fleet.quarantines, 20) > 1
+creep:  mean_over(fleet.slots.quarantined, 20) > 1.5
+tail:   p99_over(fleet.variant.sojourn, 10) > 0.5
+burn:   burn_rate(fleet.sojourn.p99, 5, 50) > 2
+`)
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	r := rules[0]
+	if r.Fn != "rate_over" || r.Metric != "fleet.quarantines" || r.Window != 20 || !r.Windowed() {
+		t.Fatalf("rate_over rule = %+v", r)
+	}
+	b := rules[3]
+	if b.Window != 5 || b.Window2 != 50 {
+		t.Fatalf("burn_rate windows = %g, %g", b.Window, b.Window2)
+	}
+	for i, want := range []string{
+		"rate_over(fleet.quarantines, 20) > 1",
+		"mean_over(fleet.slots.quarantined, 20) > 1.5",
+		"p99_over(fleet.variant.sojourn, 10) > 0.5",
+		"burn_rate(fleet.sojourn.p99, 5, 50) > 2",
+	} {
+		if got := rules[i].Expr(); got != want {
+			t.Errorf("rule %d Expr = %q, want %q", i, got, want)
+		}
+	}
+	if rules[0].Windowed() == false || mustParseRules(t, "r: count(x) > 0")[0].Windowed() {
+		t.Error("Windowed() misclassifies rules")
+	}
+
+	for _, tc := range []struct{ text, wantErr string }{
+		{"r: rate_over(x) > 1", "two arguments"},
+		{"r: mean_over(x, 0) > 1", "positive number"},
+		{"r: p99_over(x, -3) > 1", "positive number"},
+		{"r: burn_rate(x, 5) > 1", "three arguments"},
+		{"r: burn_rate(x, 50, 5) > 1", "0 < SHORT < LONG"},
+		{"r: burn_rate(x, 0, 5) > 1", "0 < SHORT < LONG"},
+	} {
+		_, err := ParseAlertRules(strings.NewReader(tc.text))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ParseAlertRules(%q) err = %v, want substring %q", tc.text, err, tc.wantErr)
+		}
+	}
+}
+
+func TestEvalAlertsSeries(t *testing.T) {
+	ss := NewSeriesSet(64, nil)
+	// fleet.quarantines: flat at 0 until t=80, then 1 per tick — the churn
+	// rule sees the recent slope, not the lifetime average.
+	for i := 0; i <= 100; i++ {
+		t_ := float64(i)
+		q := 0.0
+		if i > 80 {
+			q = float64(i - 80)
+		}
+		ss.Sample(t_, "fleet.quarantines", q)
+		// Sojourn p99 creeps up 10x over the last 10 ticks.
+		v := 0.01
+		if i > 90 {
+			v = 0.01 * float64(i-89)
+		}
+		ss.Sample(t_, "fleet.sojourn.p99", v)
+	}
+	snap := ss.Snapshot(nil, 0)
+
+	rules := mustParseRules(t, `
+churn:     rate_over(fleet.quarantines, 10) > 0.5
+flat:      rate_over(fleet.quarantines, 200) > 0.9
+mean-tail: mean_over(fleet.sojourn.p99, 5) > 0.05
+p99-tail:  p99_over(fleet.sojourn.p99, 10) > 0.08
+burning:   burn_rate(fleet.sojourn.p99, 5, 100) > 2
+no-series: rate_over(never.sampled, 10) > 0
+`)
+	states := EvalAlertsSeries(rules, &Snapshot{}, snap, time.Second)
+	byName := map[string]AlertState{}
+	for _, s := range states {
+		byName[s.Rule] = s
+	}
+	for _, want := range []struct {
+		rule   string
+		firing bool
+	}{
+		{"churn", true},     // 1/tick over the last 10 ticks
+		{"flat", false},     // lifetime slope is 20/100 = 0.2
+		{"mean-tail", true}, // recent values near 0.1
+		{"p99-tail", true},
+		{"burning", true}, // short-window slope >> lifetime slope
+	} {
+		s := byName[want.rule]
+		if s.Missing {
+			t.Errorf("%s unexpectedly missing", want.rule)
+		}
+		if s.Firing != want.firing {
+			t.Errorf("%s firing = %v (value %v), want %v", want.rule, s.Firing, s.Value, want.firing)
+		}
+	}
+	if s := byName["no-series"]; !s.Missing || s.Firing {
+		t.Errorf("no-series = %+v, want missing", s)
+	}
+
+	// Windowed rules without a series snapshot are Missing, never firing.
+	for _, s := range EvalAlertsSeries(rules, &Snapshot{}, nil, time.Second) {
+		if s.Firing || !s.Missing {
+			t.Errorf("nil-series eval of %s = %+v, want missing", s.Rule, s)
+		}
+	}
+}
+
+func TestBurnRateFlatBaselineIsMissing(t *testing.T) {
+	ss := NewSeriesSet(16, nil)
+	for i := 0; i <= 10; i++ {
+		ss.Sample(float64(i), "m", 3) // perfectly flat
+	}
+	rules := mustParseRules(t, "b: burn_rate(m, 2, 8) > 1")
+	states := EvalAlertsSeries(rules, &Snapshot{}, ss.Snapshot(nil, 0), time.Second)
+	if !states[0].Missing || states[0].Firing {
+		t.Fatalf("flat burn_rate = %+v, want missing (no baseline rate)", states[0])
+	}
+}
+
 // The committed example rules file must stay parseable — it is the first
 // thing users copy.
 func TestExampleRulesFileParses(t *testing.T) {

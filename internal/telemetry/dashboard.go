@@ -1,0 +1,261 @@
+package telemetry
+
+// DashboardHTML is the /dashboard page: a single self-contained live
+// observatory for a serving fleet — stat tiles, SVG sparklines over
+// /timeseries, per-variant health from /progress, and the live alert table
+// from /alerts — with zero external assets, so it works from a scratch
+// container or an air-gapped lab box. The page only polls the read-only
+// JSON endpoints; it can never perturb a run. Golden-file tested
+// (testdata/dashboard.golden.html), so any edit is a reviewed diff.
+const DashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>R2C fleet observatory</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --page: #f9f9f7;
+    --ink-1: #0b0b0b;
+    --ink-2: #52514e;
+    --ink-muted: #898781;
+    --grid: #e1e0d9;
+    --baseline: #c3c2b7;
+    --ring: rgba(11,11,11,0.10);
+    --series-1: #2a78d6;
+    --series-2: #eb6834;
+    --series-3: #1baf7a;
+    --status-good: #0ca30c;
+    --status-warn: #fab219;
+    --status-crit: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --page: #0d0d0d;
+      --ink-1: #ffffff;
+      --ink-2: #c3c2b7;
+      --ink-muted: #898781;
+      --grid: #2c2c2a;
+      --baseline: #383835;
+      --ring: rgba(255,255,255,0.10);
+      --series-1: #3987e5;
+      --series-2: #d95926;
+      --series-3: #199e70;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 16px 20px 28px;
+    background: var(--page); color: var(--ink-1);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  header { display: flex; align-items: baseline; gap: 12px; flex-wrap: wrap; margin-bottom: 14px; }
+  h1 { font-size: 17px; font-weight: 650; margin: 0; }
+  .sub { color: var(--ink-muted); font-size: 12px; }
+  .badge { font-size: 12px; font-weight: 600; padding: 2px 10px; border-radius: 999px; border: 1px solid var(--ring); background: var(--surface-1); }
+  .badge .dot { margin-right: 6px; }
+  .tiles { display: grid; grid-template-columns: repeat(auto-fit, minmax(150px, 1fr)); gap: 10px; margin-bottom: 14px; }
+  .tile { background: var(--surface-1); border: 1px solid var(--ring); border-radius: 8px; padding: 10px 14px; }
+  .tile .label { color: var(--ink-2); font-size: 12px; }
+  .tile .value { font-size: 26px; font-weight: 650; margin-top: 2px; }
+  .tile .hint { color: var(--ink-muted); font-size: 11px; }
+  .cards { display: grid; grid-template-columns: repeat(auto-fit, minmax(320px, 1fr)); gap: 10px; margin-bottom: 14px; }
+  .card { background: var(--surface-1); border: 1px solid var(--ring); border-radius: 8px; padding: 12px 14px; }
+  .card h2 { font-size: 13px; font-weight: 650; margin: 0 0 2px; }
+  .legend { display: flex; gap: 14px; font-size: 11px; color: var(--ink-2); margin: 2px 0 6px; }
+  .chip { display: inline-block; width: 10px; height: 10px; border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
+  svg.spark { display: block; width: 100%; height: 96px; }
+  svg.spark .base { stroke: var(--baseline); stroke-width: 1; }
+  svg.spark polyline { fill: none; stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+  svg.spark text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; fill: var(--ink-2); }
+  table { width: 100%; border-collapse: collapse; font-size: 13px; }
+  th { text-align: left; color: var(--ink-2); font-weight: 600; font-size: 12px; border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0; }
+  td { border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0; font-variant-numeric: tabular-nums; }
+  .state { font-weight: 600; }
+  .muted { color: var(--ink-muted); }
+  .firing { color: var(--status-crit); font-weight: 650; }
+  footer { margin-top: 14px; color: var(--ink-muted); font-size: 11px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>R2C fleet observatory</h1>
+  <span class="badge" id="health"><span class="dot">○</span>connecting…</span>
+  <span class="sub" id="clock"></span>
+</header>
+
+<div class="tiles">
+  <div class="tile"><div class="label">Requests served</div><div class="value" id="t-served">–</div><div class="hint" id="t-served-hint"></div></div>
+  <div class="tile"><div class="label">Throughput (sim req/s)</div><div class="value" id="t-rps">–</div></div>
+  <div class="tile"><div class="label">Quarantines</div><div class="value" id="t-quar">–</div></div>
+  <div class="tile"><div class="label">Recoveries</div><div class="value" id="t-recov">–</div></div>
+  <div class="tile"><div class="label">Alerts firing</div><div class="value" id="t-alerts">–</div></div>
+</div>
+
+<div class="cards">
+  <div class="card">
+    <h2>Throughput</h2>
+    <div class="legend"><span><span class="chip" style="background:var(--series-1)"></span>fleet.throughput.rps</span></div>
+    <div id="c-thru"></div>
+  </div>
+  <div class="card">
+    <h2>Sojourn latency (sim seconds)</h2>
+    <div class="legend">
+      <span><span class="chip" style="background:var(--series-1)"></span>p50</span>
+      <span><span class="chip" style="background:var(--series-2)"></span>p99</span>
+    </div>
+    <div id="c-sojourn"></div>
+  </div>
+  <div class="card">
+    <h2>Quarantine / heal events (cumulative)</h2>
+    <div class="legend">
+      <span><span class="chip" style="background:var(--series-2)"></span>quarantines</span>
+      <span><span class="chip" style="background:var(--series-3)"></span>recoveries</span>
+    </div>
+    <div id="c-heal"></div>
+  </div>
+</div>
+
+<div class="cards">
+  <div class="card">
+    <h2>Variants</h2>
+    <table>
+      <thead><tr><th>slot</th><th>state</th><th>gen</th><th>seed</th><th>served</th></tr></thead>
+      <tbody id="variants"><tr><td colspan="5" class="muted">waiting for /progress…</td></tr></tbody>
+    </table>
+  </div>
+  <div class="card">
+    <h2>Alerts</h2>
+    <table>
+      <thead><tr><th>state</th><th>rule</th><th>value</th><th>expr</th></tr></thead>
+      <tbody id="alerts"><tr><td colspan="4" class="muted">no alert rules wired (-alert-rules)</td></tr></tbody>
+    </table>
+  </div>
+</div>
+
+<footer>Polls /timeseries, /progress, /alerts and /healthz every 2s. All times are the run's deterministic simulated clock.</footer>
+
+<script>
+"use strict";
+var SERIES_VARS = ["--series-1", "--series-2", "--series-3"];
+function cssVar(name) {
+  return getComputedStyle(document.documentElement).getPropertyValue(name).trim();
+}
+function fmt(v) {
+  if (!isFinite(v)) return "–";
+  if (v !== 0 && Math.abs(v) < 0.001) return v.toExponential(2);
+  return String(Number(v.toPrecision(4)));
+}
+// spark renders one fixed-order multi-series sparkline: shared time domain,
+// one shared y-scale (one axis), 2px strokes, baseline hairline, and a
+// direct label on each series' last value (ink, not series color).
+function spark(seriesList) {
+  var W = 600, H = 96, PAD = 6, LABELW = 64;
+  var tmin = Infinity, tmax = -Infinity, vmin = Infinity, vmax = -Infinity, any = false;
+  seriesList.forEach(function (s) {
+    (s.points || []).forEach(function (p) {
+      any = true;
+      if (p[0] < tmin) tmin = p[0];
+      if (p[0] > tmax) tmax = p[0];
+      if (p[1] < vmin) vmin = p[1];
+      if (p[1] > vmax) vmax = p[1];
+    });
+  });
+  if (!any) return '<div class="muted" style="font-size:12px">no samples yet</div>';
+  if (tmax === tmin) tmax = tmin + 1;
+  if (vmax === vmin) { vmax = vmin + 1; vmin = vmin - 1; }
+  var sx = function (t) { return PAD + (t - tmin) / (tmax - tmin) * (W - 2 * PAD - LABELW); };
+  var sy = function (v) { return H - PAD - (v - vmin) / (vmax - vmin) * (H - 2 * PAD); };
+  var out = '<svg class="spark" viewBox="0 0 ' + W + ' ' + H + '" preserveAspectRatio="none" role="img">';
+  out += '<line class="base" x1="' + PAD + '" y1="' + (H - PAD) + '" x2="' + (W - PAD - LABELW) + '" y2="' + (H - PAD) + '"/>';
+  seriesList.forEach(function (s, i) {
+    var pts = s.points || [];
+    if (!pts.length) return;
+    var coords = pts.map(function (p) { return sx(p[0]).toFixed(1) + "," + sy(p[1]).toFixed(1); }).join(" ");
+    var color = cssVar(SERIES_VARS[i % SERIES_VARS.length]);
+    out += '<polyline points="' + coords + '" stroke="' + color + '"/>';
+    var last = pts[pts.length - 1];
+    var y = Math.min(H - PAD, Math.max(10, sy(last[1]) + 4));
+    out += '<text x="' + (W - PAD - LABELW + 6) + '" y="' + y.toFixed(1) + '">' + fmt(last[1]) + "</text>";
+  });
+  return out + "</svg>";
+}
+function byName(ts, name) {
+  var all = (ts && ts.series) || [];
+  for (var i = 0; i < all.length; i++) if (all[i].name === name) return all[i];
+  return { points: [] };
+}
+var STATE_ICON = { serving: ["●", "--status-good"], quarantined: ["▲", "--status-warn"], failed: ["■", "--status-crit"] };
+function stateCell(state) {
+  var s = STATE_ICON[state] || ["○", "--ink-muted"];
+  return '<span class="state"><span style="color:var(' + s[1] + ')">' + s[0] + "</span> " + state + "</span>";
+}
+function esc(s) {
+  return String(s).replace(/&/g, "&amp;").replace(/</g, "&lt;").replace(/>/g, "&gt;");
+}
+function getJSON(url) {
+  return fetch(url).then(function (r) { return r.ok ? r.json() : null; }).catch(function () { return null; });
+}
+function getText(url) {
+  return fetch(url).then(function (r) { return r.text().then(function (t) { return { status: r.status, body: t }; }); })
+    .catch(function () { return null; });
+}
+function refresh() {
+  getJSON("/timeseries?last=240").then(function (ts) {
+    if (!ts) return;
+    document.getElementById("clock").textContent = "sim clock " + fmt(ts.now) + "s";
+    document.getElementById("c-thru").innerHTML = spark([byName(ts, "fleet.throughput.rps")]);
+    document.getElementById("c-sojourn").innerHTML = spark([byName(ts, "fleet.sojourn.p50"), byName(ts, "fleet.sojourn.p99")]);
+    document.getElementById("c-heal").innerHTML = spark([byName(ts, "fleet.quarantines"), byName(ts, "fleet.recoveries")]);
+  });
+  getJSON("/progress").then(function (p) {
+    if (!p) return;
+    if (typeof p.served === "number") {
+      document.getElementById("t-served").textContent = fmt(p.served);
+      document.getElementById("t-served-hint").textContent = "of " + fmt(p.requests);
+    }
+    document.getElementById("t-quar").textContent = fmt(p.quarantines);
+    document.getElementById("t-recov").textContent = fmt(p.recoveries);
+    if (p.sim_clock_seconds > 0 && p.served > 0) {
+      document.getElementById("t-rps").textContent = fmt(p.served / p.sim_clock_seconds);
+    }
+    var rows = (p.slots || []).map(function (s) {
+      return "<tr><td>" + esc(s.id) + "</td><td>" + stateCell(s.state) + "</td><td>" + esc(s.gen) +
+        "</td><td>" + esc(s.seed) + "</td><td>" + esc(s.served) + "</td></tr>";
+    });
+    if (rows.length) document.getElementById("variants").innerHTML = rows.join("");
+  });
+  getJSON("/alerts").then(function (a) {
+    if (!a || !a.length) return;
+    var firing = 0;
+    var rows = a.map(function (st) {
+      var cls = "muted", label = "ok";
+      if (st.firing) { firing++; cls = "firing"; label = "■ FIRING"; }
+      else if (st.missing) { label = "missing"; }
+      else { cls = "state"; label = "● ok"; }
+      return '<tr><td class="' + cls + '">' + label + "</td><td>" + esc(st.rule) + "</td><td>" +
+        fmt(st.value) + "</td><td class=\"muted\">" + esc(st.expr) + "</td></tr>";
+    });
+    document.getElementById("t-alerts").textContent = String(firing);
+    document.getElementById("alerts").innerHTML = rows.join("");
+  });
+  getText("/healthz").then(function (h) {
+    var el = document.getElementById("health");
+    if (!h) { el.innerHTML = '<span class="dot" style="color:var(--ink-muted)">○</span>unreachable'; return; }
+    if (h.status === 200) {
+      el.innerHTML = '<span class="dot" style="color:var(--status-good)">●</span>healthy';
+    } else {
+      el.innerHTML = '<span class="dot" style="color:var(--status-warn)">▲</span>' + esc(h.body.trim());
+    }
+  });
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

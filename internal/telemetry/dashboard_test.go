@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The dashboard page is a committed artifact: any change to it must be
+// deliberate, reviewed against the golden copy (go test -run Dashboard
+// -update regenerates it).
+func TestDashboardGolden(t *testing.T) {
+	const path = "testdata/dashboard.golden.html"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(DashboardHTML), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file: %v (regenerate with -update)", err)
+	}
+	if string(want) != DashboardHTML {
+		t.Fatalf("DashboardHTML differs from %s — rerun with -update and review the diff", path)
+	}
+}
+
+// Structural invariants the golden comparison alone would not explain when
+// they break: the page stays self-contained and backtick-free (it lives in a
+// Go raw string literal), polls every ops endpoint, and keeps a dark-mode
+// palette.
+func TestDashboardInvariants(t *testing.T) {
+	page := DashboardHTML
+	if strings.Contains(page, "`") {
+		t.Error("dashboard contains a backtick — impossible inside the Go raw string literal that holds it")
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"prefers-color-scheme: dark",
+		`getJSON("/timeseries`,
+		`getJSON("/progress")`,
+		`getJSON("/alerts")`,
+		`getText("/healthz")`,
+		"id=\"alerts\"",
+		"id=\"variants\"",
+		"id=\"health\"",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}
